@@ -1,0 +1,197 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at reduced replication counts (one benchmark per experiment id of
+// DESIGN.md §3), plus micro-benchmarks of the hot paths. Seeds vary per
+// iteration so the experiment caches cannot short-circuit the work.
+//
+// Run with: go test -bench=. -benchmem
+package smartexp3_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"smartexp3"
+	"smartexp3/internal/experiment"
+)
+
+// benchOptions are Quick()-scale options with a seed namespaced per
+// experiment id: iteration seeds never collide across benchmarks, so the
+// shared experiment caches cannot make another benchmark's iterations look
+// free (which would let testing.B ramp b.N into hours of fresh work).
+func benchOptions(id string, iteration int) experiment.Options {
+	o := experiment.Quick()
+	var h int64
+	for _, c := range id {
+		h = h*131 + int64(c)
+	}
+	o.Seed = h*1_000_003 + int64(iteration) + 1
+	return o
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	def, ok := experiment.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := def.Run(benchOptions(id, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Section VI-A: static synthetic settings.
+
+func BenchmarkFig2Switches(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFig3Stability(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkTable4TimeToStable(b *testing.B)   { benchExperiment(b, "tab4") }
+func BenchmarkFig4Distance(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkTable5Download(b *testing.B)       { benchExperiment(b, "tab5") }
+func BenchmarkUnutilized(b *testing.B)           { benchExperiment(b, "unutil") }
+func BenchmarkFig5Fairness(b *testing.B)         { benchExperiment(b, "fig5") }
+func BenchmarkFig6Scalability(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7Join(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8Leave(b *testing.B)            { benchExperiment(b, "fig8") }
+func BenchmarkFig9Mobility(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10SwitchesDynamic(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11Robustness(b *testing.B)      { benchExperiment(b, "fig11") }
+
+// Section VI-B: trace-driven simulation.
+
+func BenchmarkTable6Traces(b *testing.B)     { benchExperiment(b, "tab6") }
+func BenchmarkFig12TraceSeries(b *testing.B) { benchExperiment(b, "fig12") }
+
+// Section VII-A: controlled experiments over real TCP (wall-clock bound).
+
+func BenchmarkTable7Testbed(b *testing.B)       { benchExperiment(b, "tab7") }
+func BenchmarkFig13TestbedStatic(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14TestbedDynamic(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15TestbedMixed(b *testing.B)   { benchExperiment(b, "fig15") }
+
+// Section VII-B and analysis.
+
+func BenchmarkWildDownload(b *testing.B)   { benchExperiment(b, "wild") }
+func BenchmarkTheorem2Bound(b *testing.B)  { benchExperiment(b, "thm2") }
+func BenchmarkTheorem3Regret(b *testing.B) { benchExperiment(b, "thm3") }
+func BenchmarkAblation(b *testing.B)       { benchExperiment(b, "ablate") }
+
+// Micro-benchmarks of the hot paths.
+
+// BenchmarkPolicySlot measures one Select+Observe cycle of Smart EXP3.
+func BenchmarkPolicySlot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pol, err := smartexp3.NewPolicy(smartexp3.AlgSmartEXP3, []int{0, 1, 2}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gains := []float64{0.2, 0.4, 0.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Observe(gains[pol.Select()])
+	}
+}
+
+// BenchmarkEXP3Slot measures the classic EXP3 per-slot cost for comparison.
+func BenchmarkEXP3Slot(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pol, err := smartexp3.NewPolicy(smartexp3.AlgEXP3, []int{0, 1, 2}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gains := []float64{0.2, 0.4, 0.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Observe(gains[pol.Select()])
+	}
+}
+
+// BenchmarkSimulationRun measures a full 20-device, 1200-slot Setting 1 run
+// with metric collection — the unit of work behind every Section VI figure.
+func BenchmarkSimulationRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := smartexp3.Simulate(smartexp3.SimConfig{
+			Topology: smartexp3.Setting1(),
+			Devices:  smartexp3.UniformDevices(20, smartexp3.AlgSmartEXP3),
+			Slots:    1200,
+			Seed:     int64(i + 1),
+			Collect:  smartexp3.CollectOptions{Distance: true, Probabilities: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNashSolver measures the congestion-game solver on the Figure 1
+// heterogeneous-availability instance.
+func BenchmarkNashSolver(b *testing.B) {
+	top := smartexp3.FoodCourt()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		smartexp3.NashCounts(top.Bandwidths(), 20)
+	}
+}
+
+// BenchmarkTraceRun measures one 100-slot trace-driven selection run.
+func BenchmarkTraceRun(b *testing.B) {
+	pair := smartexp3.PaperTracePairs(1)[2]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := smartexp3.RunTrace(smartexp3.TraceRunConfig{
+			Pair:      pair,
+			Algorithm: smartexp3.AlgSmartEXP3,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWildRun measures one in-the-wild download emulation.
+func BenchmarkWildRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := smartexp3.RunWild(smartexp3.WildConfig{
+			FileMB:    100,
+			Algorithm: smartexp3.AlgSmartEXP3,
+			Seed:      int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTestbedSlot measures testbed wall-clock throughput (slots/sec) at
+// a tiny scale; it is dominated by real socket time by design.
+func BenchmarkTestbedSlot(b *testing.B) {
+	if testing.Short() {
+		b.Skip("testbed uses wall-clock time")
+	}
+	for i := 0; i < b.N; i++ {
+		_, err := smartexp3.RunTestbed(smartexp3.TestbedConfig{
+			APs: []smartexp3.Network{
+				{Name: "a", Type: smartexp3.WiFi, Bandwidth: 4},
+				{Name: "b", Type: smartexp3.WiFi, Bandwidth: 12},
+			},
+			Devices: []smartexp3.TestbedDeviceSpec{
+				{Algorithm: smartexp3.AlgSmartEXP3},
+				{Algorithm: smartexp3.AlgSmartEXP3},
+				{Algorithm: smartexp3.AlgGreedy},
+			},
+			Slots:        10,
+			SlotDuration: 20 * time.Millisecond,
+			Seed:         int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

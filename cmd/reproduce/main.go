@@ -1,0 +1,102 @@
+// Command reproduce regenerates the paper's evaluation artifacts: one
+// experiment per table and figure of Sections VI and VII, plus the Theorem 2
+// bound check and a feature ablation. Reports are printed and written under
+// -out as text, markdown and CSV series.
+//
+// Usage:
+//
+//	reproduce                     # run everything at default scale
+//	reproduce -run fig2,tab5      # run selected experiments
+//	reproduce -runs 500           # match the paper's replication count
+//	reproduce -quick              # tiny smoke-scale pass
+//	reproduce -list               # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"smartexp3/internal/experiment"
+	"smartexp3/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		ids     = fs.String("run", "", "comma-separated experiment ids (default: all)")
+		quick   = fs.Bool("quick", false, "smoke-scale options (fast, noisy)")
+		runs    = fs.Int("runs", 0, "override replication count (paper: 500)")
+		slots   = fs.Int("slots", 0, "override simulation horizon (paper: 1200)")
+		seed    = fs.Int64("seed", 0, "override base seed")
+		workers = fs.Int("workers", 0, "override worker count (default: GOMAXPROCS)")
+		outDir  = fs.String("out", "results", "output directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	defs := experiment.All()
+	if *list {
+		for _, d := range defs {
+			fmt.Printf("%-8s %s\n         paper: %s\n", d.ID, d.Title, d.Paper)
+		}
+		return nil
+	}
+
+	opts := experiment.Default()
+	if *quick {
+		opts = experiment.Quick()
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+		opts.TraceRuns = *runs
+	}
+	if *slots > 0 {
+		opts.Slots = *slots
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+
+	selected := defs
+	if *ids != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*ids, ",") {
+			id = strings.TrimSpace(id)
+			def, ok := experiment.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, def)
+		}
+	}
+
+	for _, def := range selected {
+		start := time.Now()
+		fmt.Printf(">>> %s: %s\n", def.ID, def.Title)
+		rep, err := def.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", def.ID, err)
+		}
+		fmt.Print(rep.String())
+		fmt.Printf("(%s in %s; paper: %s)\n\n", def.ID, time.Since(start).Round(time.Millisecond), def.Paper)
+		if err := report.WriteFiles(*outDir, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListDoesNotRunExperiments(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Fatal("want error for unknown experiment id")
+	}
+}
+
+func TestQuickRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-run", "thm2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"thm2.txt", "thm2.md"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}

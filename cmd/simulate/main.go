@@ -1,0 +1,175 @@
+// Command simulate runs one ad-hoc wireless network selection simulation and
+// prints a per-device and run-level summary.
+//
+// Usage:
+//
+//	simulate -topology setting1 -algorithm smart -devices 20 -slots 1200
+//	simulate -topology uniform:5:11 -algorithm greedy
+//	simulate -topology foodcourt -algorithm exp3 -seed 7
+//	simulate -config scenario.json            # declarative JSON scenario
+//	simulate -writeconfig scenario.json ...   # save the flags as a scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smartexp3"
+	"smartexp3/internal/scenario"
+	"smartexp3/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+var algorithmsByName = map[string]smartexp3.Algorithm{
+	"exp3":        smartexp3.AlgEXP3,
+	"block":       smartexp3.AlgBlockEXP3,
+	"hybrid":      smartexp3.AlgHybridBlockEXP3,
+	"smartnr":     smartexp3.AlgSmartEXP3NoReset,
+	"smart":       smartexp3.AlgSmartEXP3,
+	"greedy":      smartexp3.AlgGreedy,
+	"fullinfo":    smartexp3.AlgFullInformation,
+	"fixed":       smartexp3.AlgFixedRandom,
+	"centralized": smartexp3.AlgCentralized,
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		topoName  = fs.String("topology", "setting1", "setting1 | setting2 | foodcourt | uniform:<k>:<mbps>")
+		algName   = fs.String("algorithm", "smart", "exp3|block|hybrid|smartnr|smart|greedy|fullinfo|fixed|centralized")
+		devices   = fs.Int("devices", 20, "number of devices")
+		slots     = fs.Int("slots", 1200, "number of 15 s time slots")
+		seed      = fs.Int64("seed", 1, "random seed")
+		confPath  = fs.String("config", "", "run a JSON scenario file instead of the flags")
+		writePath = fs.String("writeconfig", "", "write the flag-defined scenario as JSON and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg smartexp3.SimConfig
+	if *confPath != "" {
+		f, err := os.Open(*confPath)
+		if err != nil {
+			return err
+		}
+		sc, err := scenario.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if cfg, err = sc.ToConfig(); err != nil {
+			return err
+		}
+		fmt.Printf("scenario %q: %s\n", sc.Name, sc.Description)
+	} else {
+		alg, ok := algorithmsByName[strings.ToLower(*algName)]
+		if !ok {
+			return fmt.Errorf("unknown algorithm %q", *algName)
+		}
+		topo, err := parseTopology(*topoName)
+		if err != nil {
+			return err
+		}
+		cfg = smartexp3.SimConfig{
+			Topology: topo,
+			Devices:  smartexp3.UniformDevices(*devices, alg),
+			Slots:    *slots,
+			Seed:     *seed,
+		}
+	}
+	cfg.Collect = smartexp3.CollectOptions{Distance: true, Probabilities: true}
+
+	if *writePath != "" {
+		f, err := os.Create(*writePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := scenario.Write(f, scenario.FromConfig("scenario", cfg)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *writePath)
+		return nil
+	}
+
+	res, err := smartexp3.Simulate(cfg)
+	if err != nil {
+		return err
+	}
+
+	var switches, downloads, resets []float64
+	for d := range res.Devices {
+		switches = append(switches, float64(res.Devices[d].Switches))
+		resets = append(resets, float64(res.Devices[d].Resets))
+		downloads = append(downloads, smartexp3.MbToGB(res.Devices[d].DownloadMb))
+	}
+	algs := make(map[string]int)
+	for _, d := range cfg.Devices {
+		algs[d.Algorithm.String()]++
+	}
+	fmt.Printf("algorithms           ")
+	first := true
+	for name, n := range algs {
+		if !first {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s x%d", name, n)
+		first = false
+	}
+	fmt.Println()
+	fmt.Printf("devices x slots      %d x %d\n", len(cfg.Devices), cfg.Slots)
+	fmt.Printf("switches/device      mean %.1f  sd %.1f\n", stats.Mean(switches), stats.StdDev(switches))
+	fmt.Printf("resets/device        mean %.1f\n", stats.Mean(resets))
+	fmt.Printf("download/device      median %.2f GB  sd %.0f MB\n",
+		stats.Median(downloads), stats.StdDev(downloads)*1000)
+	fmt.Printf("time at NE           %.1f%%  (within eps=7.5: %.1f%%)\n",
+		100*res.FracAtNE, 100*res.FracAtEps)
+	fmt.Printf("unused resources     %.2f GB of %.2f GB\n",
+		smartexp3.MbToGB(res.UnusedMb), smartexp3.MbToGB(res.TotalMb))
+	if res.StabilityValid {
+		fmt.Printf("stable (Def. 2)      %v (slot %d, at NE: %v)\n",
+			res.Stability.Stable, res.Stability.Slot, res.Stability.AtNash)
+	}
+	if len(res.Distance) > 0 {
+		late := res.Distance[len(res.Distance)*3/4:]
+		fmt.Printf("late distance to NE  %.2f%%\n", stats.Mean(late))
+	}
+	return nil
+}
+
+func parseTopology(name string) (smartexp3.Topology, error) {
+	switch strings.ToLower(name) {
+	case "setting1":
+		return smartexp3.Setting1(), nil
+	case "setting2":
+		return smartexp3.Setting2(), nil
+	case "foodcourt":
+		return smartexp3.FoodCourt(), nil
+	}
+	if rest, ok := strings.CutPrefix(strings.ToLower(name), "uniform:"); ok {
+		parts := strings.Split(rest, ":")
+		if len(parts) != 2 {
+			return smartexp3.Topology{}, fmt.Errorf("topology %q: want uniform:<k>:<mbps>", name)
+		}
+		k, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return smartexp3.Topology{}, fmt.Errorf("topology %q: bad network count: %w", name, err)
+		}
+		bw, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return smartexp3.Topology{}, fmt.Errorf("topology %q: bad bandwidth: %w", name, err)
+		}
+		return smartexp3.UniformTopology(k, bw), nil
+	}
+	return smartexp3.Topology{}, fmt.Errorf("unknown topology %q", name)
+}

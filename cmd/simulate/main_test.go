@@ -1,0 +1,70 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTopology(t *testing.T) {
+	tests := []struct {
+		give     string
+		wantNets int
+		wantErr  bool
+	}{
+		{give: "setting1", wantNets: 3},
+		{give: "SETTING2", wantNets: 3},
+		{give: "foodcourt", wantNets: 5},
+		{give: "uniform:5:11", wantNets: 5},
+		{give: "uniform:bad", wantErr: true},
+		{give: "uniform:x:11", wantErr: true},
+		{give: "uniform:5:y", wantErr: true},
+		{give: "mars", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			top, err := parseTopology(tt.give)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(top.Networks) != tt.wantNets {
+				t.Fatalf("got %d networks, want %d", len(top.Networks), tt.wantNets)
+			}
+		})
+	}
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	if err := run([]string{"-devices", "4", "-slots", "60", "-algorithm", "greedy"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownAlgorithm(t *testing.T) {
+	err := run([]string{"-algorithm", "sarsa", "-slots", "10"})
+	if err == nil || !strings.Contains(err.Error(), "algorithm") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestWriteAndReplayConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := run([]string{"-devices", "3", "-slots", "40", "-writeconfig", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-config", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsMissingConfig(t *testing.T) {
+	if err := run([]string{"-config", "/nonexistent/sc.json"}); err == nil {
+		t.Fatal("want error for missing config file")
+	}
+}

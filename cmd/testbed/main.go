@@ -1,0 +1,90 @@
+// Command testbed runs one controlled experiment over real TCP sockets on
+// localhost: token-bucket-limited access points (4/7/22 Mbps virtual), 14
+// client devices, and a chosen selection algorithm (Section VII-A).
+//
+// Usage:
+//
+//	testbed -algorithm smart -slots 120 -slotdur 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"smartexp3"
+	"smartexp3/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("testbed", flag.ContinueOnError)
+	var (
+		algName = fs.String("algorithm", "smart", "smart | greedy | mixed")
+		devices = fs.Int("devices", 14, "number of client devices")
+		slots   = fs.Int("slots", 120, "number of time slots")
+		slotDur = fs.Duration("slotdur", 100*time.Millisecond, "wall-clock duration of one slot")
+		seed    = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	specs := make([]smartexp3.TestbedDeviceSpec, *devices)
+	for d := range specs {
+		switch strings.ToLower(*algName) {
+		case "smart":
+			specs[d].Algorithm = smartexp3.AlgSmartEXP3
+		case "greedy":
+			specs[d].Algorithm = smartexp3.AlgGreedy
+		case "mixed":
+			if d < *devices/2 {
+				specs[d].Algorithm = smartexp3.AlgSmartEXP3
+			} else {
+				specs[d].Algorithm = smartexp3.AlgGreedy
+			}
+		default:
+			return fmt.Errorf("unknown algorithm %q", *algName)
+		}
+	}
+
+	fmt.Printf("running %d devices for %d slots of %s (wall time ≈ %s)...\n",
+		*devices, *slots, *slotDur, time.Duration(*slots)*(*slotDur))
+	res, err := smartexp3.RunTestbed(smartexp3.TestbedConfig{
+		APs: []smartexp3.Network{
+			{Name: "ap-4", Type: smartexp3.WiFi, Bandwidth: 4},
+			{Name: "ap-7", Type: smartexp3.WiFi, Bandwidth: 7},
+			{Name: "ap-22", Type: smartexp3.WiFi, Bandwidth: 22},
+		},
+		Devices:      specs,
+		Slots:        *slots,
+		SlotDuration: *slotDur,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var pcts, switches []float64
+	for d := range res.Devices {
+		dev := &res.Devices[d]
+		pcts = append(pcts, dev.DownloadPct)
+		switches = append(switches, float64(dev.Switches))
+		fmt.Printf("device %2d  %-12s  %8d bytes  %5.2f%%  %3d switches  %d resets\n",
+			d, dev.Algorithm, dev.DownloadBytes, dev.DownloadPct, dev.Switches, dev.Resets)
+	}
+	fmt.Printf("\nmedian download %%   %.2f (sd %.2f, fair share %.2f)\n",
+		stats.Median(pcts), stats.StdDev(pcts), 100/float64(*devices))
+	fmt.Printf("mean switches       %.1f\n", stats.Mean(switches))
+	fmt.Printf("final distance      %.2f%% (optimal %.2f%%)\n",
+		stats.Mean(res.Distance[len(res.Distance)*3/4:]), res.OptimalDistance)
+	return nil
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTinyTestbed(t *testing.T) {
+	err := run([]string{"-devices", "3", "-slots", "8", "-slotdur", "25ms", "-algorithm", "mixed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsUnknownAlgorithm(t *testing.T) {
+	err := run([]string{"-algorithm", "qlearning", "-slots", "2"})
+	if err == nil || !strings.Contains(err.Error(), "algorithm") {
+		t.Fatalf("error = %v", err)
+	}
+}

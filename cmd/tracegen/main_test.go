@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartexp3/internal/trace"
+)
+
+func TestGeneratesFourReadablePairs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-seed", "5", "-slots", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d files, want 4", len(entries))
+	}
+	for _, e := range entries {
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pair, err := trace.ReadCSV(f, e.Name(), 15)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if pair.Slots() != 40 {
+			t.Fatalf("%s has %d slots, want 40", e.Name(), pair.Slots())
+		}
+	}
+}
+
+func TestRejectsUnwritableDir(t *testing.T) {
+	if err := run([]string{"-out", "/proc/definitely/not/writable"}); err == nil {
+		t.Fatal("want error for unwritable output directory")
+	}
+}

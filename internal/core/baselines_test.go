@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smartexp3/internal/rngutil"
+)
+
+func TestGreedyExploresEachNetworkOnce(t *testing.T) {
+	g := NewGreedy([]int{2, 5, 8}, rngutil.New(1))
+	seen := make(map[int]int)
+	for i := 0; i < 3; i++ {
+		seen[g.Select()]++
+		g.Observe(0.5)
+	}
+	for _, id := range []int{2, 5, 8} {
+		if seen[id] != 1 {
+			t.Fatalf("exploration visits %v, want each network once", seen)
+		}
+	}
+}
+
+func TestGreedyLocksOntoBestAverage(t *testing.T) {
+	g := NewGreedy([]int{0, 1, 2}, rngutil.New(2))
+	gains := map[int]float64{0: 0.2, 1: 0.9, 2: 0.4}
+	for i := 0; i < 100; i++ {
+		net := g.Select()
+		g.Observe(gains[net])
+	}
+	for i := 0; i < 20; i++ {
+		if net := g.Select(); net != 1 {
+			t.Fatalf("greedy selected %d, want the best network 1", net)
+		}
+		g.Observe(gains[1])
+	}
+}
+
+func TestGreedyGetsStuckOnDegradedNetwork(t *testing.T) {
+	// The failure mode the paper exploits: after the preferred network
+	// degrades below another's historical average... greedy eventually
+	// moves, but only when the running average crosses — not on fresh
+	// evidence. With a long history it stays for a long time.
+	g := NewGreedy([]int{0, 1}, rngutil.New(3))
+	for i := 0; i < 200; i++ {
+		net := g.Select()
+		gain := 0.3
+		if net == 0 {
+			gain = 0.9
+		}
+		g.Observe(gain)
+	}
+	// Network 0 collapses to 0.1; for many slots greedy keeps choosing it.
+	stuck := 0
+	for i := 0; i < 50; i++ {
+		net := g.Select()
+		gain := 0.3
+		if net == 0 {
+			gain = 0.1
+			stuck++
+		}
+		g.Observe(gain)
+	}
+	if stuck < 40 {
+		t.Fatalf("greedy re-adapted suspiciously fast (%d/50 slots on the stale best)", stuck)
+	}
+}
+
+func TestGreedySetAvailableExploresNewNetwork(t *testing.T) {
+	g := NewGreedy([]int{0, 1}, rngutil.New(4))
+	for i := 0; i < 20; i++ {
+		g.Observe(map[int]float64{0: 0.8, 1: 0.2}[g.Select()])
+	}
+	g.SetAvailable([]int{0, 1, 5})
+	seen5 := false
+	for i := 0; i < 3; i++ {
+		if g.Select() == 5 {
+			seen5 = true
+		}
+		g.Observe(0.1)
+	}
+	if !seen5 {
+		t.Fatal("greedy never explored the newly available network")
+	}
+}
+
+func TestGreedySetAvailableKeepsAverages(t *testing.T) {
+	g := NewGreedy([]int{0, 1}, rngutil.New(5))
+	for i := 0; i < 30; i++ {
+		g.Observe(map[int]float64{0: 0.9, 1: 0.1}[g.Select()])
+	}
+	g.SetAvailable([]int{0, 1, 2})
+	// After the forced exploration of 2 (bad), greedy must still remember
+	// that 0 was best.
+	for i := 0; i < 5; i++ {
+		net := g.Select()
+		g.Observe(map[int]float64{0: 0.9, 1: 0.1, 2: 0.1}[net])
+	}
+	for i := 0; i < 10; i++ {
+		if net := g.Select(); net != 0 {
+			t.Fatalf("greedy forgot its statistics: selected %d", net)
+		}
+		g.Observe(0.9)
+	}
+}
+
+func TestGreedySwitchCounter(t *testing.T) {
+	g := NewGreedy([]int{0, 1, 2}, rngutil.New(6))
+	last, want := -1, 0
+	for i := 0; i < 100; i++ {
+		net := g.Select()
+		if last >= 0 && net != last {
+			want++
+		}
+		last = net
+		g.Observe(0.5)
+	}
+	if got := g.Switches(); got != want {
+		t.Fatalf("Switches() = %d, want %d", got, want)
+	}
+}
+
+func TestFixedRandomNeverSwitches(t *testing.T) {
+	r := NewFixedRandom([]int{0, 1, 2}, rngutil.New(7))
+	first := r.Select()
+	r.Observe(0.1)
+	for i := 0; i < 100; i++ {
+		if got := r.Select(); got != first {
+			t.Fatalf("fixed random moved from %d to %d", first, got)
+		}
+		r.Observe(0.9) // high gains elsewhere must not tempt it
+	}
+}
+
+func TestFixedRandomRepicksWhenNetworkVanishes(t *testing.T) {
+	r := NewFixedRandom([]int{0, 1}, rngutil.New(8))
+	first := r.Select()
+	r.Observe(0.5)
+	other := 1 - first
+	r.SetAvailable([]int{other})
+	if got := r.Select(); got != other {
+		t.Fatalf("after removal, selected %d, want %d", got, other)
+	}
+}
+
+func TestFixedRandomUniformOverSeeds(t *testing.T) {
+	counts := make(map[int]int)
+	for s := int64(0); s < 300; s++ {
+		r := NewFixedRandom([]int{0, 1, 2}, rngutil.New(s))
+		counts[r.Select()]++
+	}
+	for id, c := range counts {
+		if c < 60 || c > 140 {
+			t.Fatalf("network %d picked %d/300 times; want ≈100", id, c)
+		}
+	}
+}
+
+func TestFullInformationShiftsToLowLossArm(t *testing.T) {
+	f := NewFullInformation([]int{0, 1}, rngutil.New(9))
+	for i := 0; i < 300; i++ {
+		f.Select()
+		f.Observe(0)
+		f.ObserveAll([]float64{0.1, 0.9})
+	}
+	probs := f.Probabilities()
+	if probs[1] < 0.9 {
+		t.Fatalf("full information did not concentrate on the better arm: %v", probs)
+	}
+}
+
+func TestFullInformationProbabilitiesValid(t *testing.T) {
+	f := NewFullInformation([]int{0, 1, 2}, rngutil.New(10))
+	rng := rngutil.New(77)
+	for i := 0; i < 500; i++ {
+		f.Select()
+		f.Observe(rng.Float64())
+		f.ObserveAll([]float64{rng.Float64(), rng.Float64(), rng.Float64()})
+		var sum float64
+		for _, pr := range f.Probabilities() {
+			if pr < 0 || math.IsNaN(pr) {
+				t.Fatalf("invalid probability %v", pr)
+			}
+			sum += pr
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestFullInformationKeepsSwitchingForever(t *testing.T) {
+	// With near-equal arms, weight-proportional per-slot sampling keeps
+	// switching — the behavior behind its huge Figure 2 switch counts.
+	f := NewFullInformation([]int{0, 1, 2}, rngutil.New(11))
+	for i := 0; i < 1000; i++ {
+		f.Select()
+		f.Observe(0.5)
+		f.ObserveAll([]float64{0.5, 0.5, 0.5})
+	}
+	if f.Switches() < 300 {
+		t.Fatalf("full information switched only %d times over 1000 equal-arm slots", f.Switches())
+	}
+}
+
+func TestFullInformationSetAvailable(t *testing.T) {
+	f := NewFullInformation([]int{0, 1}, rngutil.New(12))
+	for i := 0; i < 100; i++ {
+		f.Select()
+		f.Observe(0)
+		f.ObserveAll([]float64{0.9, 0.1})
+	}
+	f.SetAvailable([]int{0, 2})
+	for i := 0; i < 10; i++ {
+		net := f.Select()
+		if net != 0 && net != 2 {
+			t.Fatalf("selected unavailable network %d", net)
+		}
+		f.Observe(0)
+		f.ObserveAll([]float64{0.5, 0.5})
+	}
+}
+
+func TestFullInformationIgnoresMalformedFeedback(t *testing.T) {
+	f := NewFullInformation([]int{0, 1}, rngutil.New(13))
+	f.Select()
+	f.Observe(0.5)
+	f.ObserveAll([]float64{0.5}) // wrong length: must be ignored, not panic
+	var sum float64
+	for _, pr := range f.Probabilities() {
+		sum += pr
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v after malformed feedback", sum)
+	}
+}

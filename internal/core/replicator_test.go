@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"smartexp3/internal/rngutil"
+)
+
+// TestReplicatorDynamicsDirection verifies the analytic heart of Theorem 1
+// (Appendix A): for small γ, the expected per-block probability change of
+// the EXP3 weight update follows the replicator equation
+//
+//	E[Δp_i] ∝ (p_i/k) · Σ_j p_j (g_i − g_j),
+//
+// so probability mass flows toward networks whose gain exceeds the
+// distribution's average and away from the others, with magnitude scaled by
+// p_i. The test Monte-Carlo-estimates E[Δp_i] of a bare EXP3 step (blocking
+// and the other Smart mechanisms disabled, fixed tiny γ) and checks sign and
+// relative ordering against the replicator prediction.
+func TestReplicatorDynamicsDirection(t *testing.T) {
+	gains := []float64{0.2, 0.5, 0.9}
+	const (
+		gamma  = 0.05
+		trials = 300000
+	)
+
+	cfg := DefaultConfig()
+	cfg.Gamma = FixedGamma(gamma)
+
+	// Expected Δp by Monte Carlo over the policy's own randomization: start
+	// from the uniform state each trial, run exactly one block (= one slot),
+	// and record the next block's distribution.
+	k := len(gains)
+	deltas := make([]float64, k)
+	rng := rngutil.New(42)
+	for trial := 0; trial < trials; trial++ {
+		p := NewSmartEXP3("exp3", Features{}, []int{0, 1, 2}, cfg, rng)
+		net := p.Select()
+		before := append([]float64(nil), p.Probabilities()...)
+		p.Observe(gains[net])
+		p.Select() // start the next block, refreshing the distribution
+		after := p.Probabilities()
+		for i := 0; i < k; i++ {
+			deltas[i] += after[i] - before[i]
+		}
+	}
+	for i := range deltas {
+		deltas[i] /= trials
+	}
+
+	// Replicator prediction from the uniform state p = (1/3,1/3,1/3):
+	// direction_i = (p_i/k)·Σ_j p_j (g_i − g_j).
+	var avgGain float64
+	for _, g := range gains {
+		avgGain += g / float64(k)
+	}
+	pred := make([]float64, k)
+	for i, g := range gains {
+		pred[i] = (1.0 / float64(k) / float64(k)) * (g - avgGain)
+	}
+
+	// Signs must match: mass flows to above-average arms.
+	for i := range pred {
+		if pred[i] > 0 && deltas[i] <= 0 {
+			t.Fatalf("arm %d (gain %.1f > avg %.2f): predicted growth, measured Δp=%.2e",
+				i, gains[i], avgGain, deltas[i])
+		}
+		if pred[i] < 0 && deltas[i] >= 0 {
+			t.Fatalf("arm %d (gain %.1f < avg %.2f): predicted decay, measured Δp=%.2e",
+				i, gains[i], avgGain, deltas[i])
+		}
+	}
+
+	// The best arm must gain the most; the worst must lose the most.
+	if !(deltas[2] > deltas[1] && deltas[1] > deltas[0]) {
+		t.Fatalf("Δp ordering %v does not follow gain ordering", deltas)
+	}
+
+	// Magnitude ratio check (coarse): Δp_2/|Δp_0| should match the
+	// replicator ratio within Monte Carlo noise.
+	wantRatio := pred[2] / -pred[0]
+	gotRatio := deltas[2] / -deltas[0]
+	if math.Abs(gotRatio-wantRatio) > 0.5*wantRatio {
+		t.Fatalf("Δp ratio %.2f deviates from replicator prediction %.2f", gotRatio, wantRatio)
+	}
+}
+
+// TestReplicatorFixedPointAtPureStrategy verifies that a near-pure
+// distribution barely moves when its favorite arm keeps paying: pure Nash
+// profiles are fixed points of the dynamics (the convergence targets of
+// Theorem 1).
+func TestReplicatorFixedPointAtPureStrategy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Gamma = FixedGamma(0.01)
+	rng := rngutil.New(7)
+	p := NewSmartEXP3("exp3", Features{}, []int{0, 1}, cfg, rng)
+
+	// Push the distribution close to pure on arm 1.
+	for i := 0; i < 3000; i++ {
+		net := p.Select()
+		g := 0.05
+		if net == 1 {
+			g = 0.95
+		}
+		p.Observe(g)
+	}
+	p.Select()
+	before := append([]float64(nil), p.Probabilities()...)
+	if before[1] < 0.9 {
+		t.Fatalf("distribution did not concentrate: %v", before)
+	}
+	// One more favorable block must not move the near-pure state much.
+	p.Observe(0.95)
+	p.Select()
+	after := p.Probabilities()
+	if math.Abs(after[1]-before[1]) > 0.02 {
+		t.Fatalf("near-pure state moved from %.4f to %.4f on one block", before[1], after[1])
+	}
+}

@@ -1,0 +1,100 @@
+// Package criteria implements the paper's first future-work direction:
+// selection criteria beyond raw throughput. The conclusion names
+// "application requirements, energy constraints and monetary cost"; this
+// package folds those into the gain a policy observes, so the unchanged
+// Smart EXP3 machinery optimizes a composite utility instead of bit rate
+// alone (e.g. preferring a slightly slower free WLAN over a fast but
+// metered, battery-hungry cellular link).
+package criteria
+
+import (
+	"fmt"
+
+	"smartexp3/internal/netmodel"
+)
+
+// Costs describes the non-throughput characteristics of one network, each
+// normalized into [0,1].
+type Costs struct {
+	// Energy is the relative radio energy draw of using the network for one
+	// slot (1 = worst radio considered).
+	Energy float64
+	// PricePerData is the relative monetary price per unit of data
+	// (1 = most expensive plan considered; 0 = free).
+	PricePerData float64
+}
+
+// Validate reports whether the costs are normalized.
+func (c Costs) Validate() error {
+	if c.Energy < 0 || c.Energy > 1 {
+		return fmt.Errorf("criteria: energy %v outside [0,1]", c.Energy)
+	}
+	if c.PricePerData < 0 || c.PricePerData > 1 {
+		return fmt.Errorf("criteria: price %v outside [0,1]", c.PricePerData)
+	}
+	return nil
+}
+
+// DefaultCosts returns plausible per-technology costs: WiFi radios are
+// cheaper to run and WiFi data is free, while cellular drains more battery
+// and is metered.
+func DefaultCosts(t netmodel.Type) Costs {
+	if t == netmodel.Cellular {
+		return Costs{Energy: 0.6, PricePerData: 0.5}
+	}
+	return Costs{Energy: 0.25, PricePerData: 0}
+}
+
+// Profile weighs the three criteria. Weights are relative; at least one must
+// be positive. The zero value is unusable — start from ThroughputOnly or
+// Balanced.
+type Profile struct {
+	Throughput float64
+	Energy     float64
+	Money      float64
+}
+
+// ThroughputOnly reproduces the paper's main setting: utility is bit rate.
+func ThroughputOnly() Profile { return Profile{Throughput: 1} }
+
+// Balanced weighs throughput against energy and price the way a
+// battery-conscious user on a metered plan might.
+func Balanced() Profile { return Profile{Throughput: 1, Energy: 0.5, Money: 0.5} }
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	if p.Throughput < 0 || p.Energy < 0 || p.Money < 0 {
+		return fmt.Errorf("criteria: negative weights in %+v", p)
+	}
+	if p.Throughput+p.Energy+p.Money <= 0 {
+		return fmt.Errorf("criteria: at least one weight must be positive")
+	}
+	return nil
+}
+
+// Utility folds a throughput gain (bit rate scaled to [0,1]) and a network's
+// costs into a composite gain in [0,1]: the weighted mean of the throughput
+// gain, the energy utility (1 − energy), and the monetary utility
+// (1 − price·gain, since spending scales with data actually moved).
+func (p Profile) Utility(gain float64, costs Costs) float64 {
+	if gain < 0 {
+		gain = 0
+	}
+	if gain > 1 {
+		gain = 1
+	}
+	total := p.Throughput + p.Energy + p.Money
+	if total <= 0 {
+		return gain
+	}
+	u := (p.Throughput*gain +
+		p.Energy*(1-costs.Energy) +
+		p.Money*(1-costs.PricePerData*gain)) / total
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

@@ -1,0 +1,111 @@
+package criteria
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smartexp3/internal/netmodel"
+)
+
+func TestThroughputOnlyIsIdentity(t *testing.T) {
+	p := ThroughputOnly()
+	costs := Costs{Energy: 1, PricePerData: 1}
+	for _, g := range []float64{0, 0.25, 0.5, 1} {
+		if got := p.Utility(g, costs); got != g {
+			t.Fatalf("Utility(%v) = %v, want identity", g, got)
+		}
+	}
+}
+
+func TestUtilityPenalizesCostlyNetworks(t *testing.T) {
+	p := Balanced()
+	free := Costs{Energy: 0.2, PricePerData: 0}
+	metered := Costs{Energy: 0.6, PricePerData: 0.5}
+	g := 0.8
+	if p.Utility(g, metered) >= p.Utility(g, free) {
+		t.Fatal("metered, power-hungry network must have lower utility at equal throughput")
+	}
+}
+
+func TestUtilityMonotoneInGain(t *testing.T) {
+	p := Balanced()
+	costs := DefaultCosts(netmodel.Cellular)
+	prev := -1.0
+	for g := 0.0; g <= 1.0; g += 0.05 {
+		u := p.Utility(g, costs)
+		if u < prev {
+			t.Fatalf("utility not monotone at gain %v: %v < %v", g, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestUtilityBoundedProperty(t *testing.T) {
+	f := func(rawG, rawE, rawP, w1, w2, w3 float64) bool {
+		g := math.Mod(math.Abs(rawG), 1)
+		costs := Costs{
+			Energy:       math.Mod(math.Abs(rawE), 1),
+			PricePerData: math.Mod(math.Abs(rawP), 1),
+		}
+		p := Profile{
+			Throughput: math.Mod(math.Abs(w1), 5),
+			Energy:     math.Mod(math.Abs(w2), 5),
+			Money:      math.Mod(math.Abs(w3), 5),
+		}
+		if math.IsNaN(g) || math.IsNaN(costs.Energy) || math.IsNaN(costs.PricePerData) ||
+			math.IsNaN(p.Throughput) || math.IsNaN(p.Energy) || math.IsNaN(p.Money) {
+			return true
+		}
+		u := p.Utility(g, costs)
+		return u >= 0 && u <= 1 && !math.IsNaN(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilityOutOfRangeGainClamped(t *testing.T) {
+	p := ThroughputOnly()
+	if got := p.Utility(5, Costs{}); got != 1 {
+		t.Fatalf("Utility(5) = %v, want clamp to 1", got)
+	}
+	if got := p.Utility(-1, Costs{}); got != 0 {
+		t.Fatalf("Utility(-1) = %v, want clamp to 0", got)
+	}
+}
+
+func TestDefaultCosts(t *testing.T) {
+	wifi := DefaultCosts(netmodel.WiFi)
+	cell := DefaultCosts(netmodel.Cellular)
+	if wifi.PricePerData != 0 {
+		t.Fatal("WiFi data must be free by default")
+	}
+	if cell.Energy <= wifi.Energy || cell.PricePerData <= wifi.PricePerData {
+		t.Fatal("cellular must cost more energy and money than WiFi by default")
+	}
+	if err := wifi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cell.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Profile{}).Validate(); err == nil {
+		t.Fatal("zero profile must be invalid")
+	}
+	if err := (Profile{Throughput: -1, Energy: 2}).Validate(); err == nil {
+		t.Fatal("negative weights must be invalid")
+	}
+	if err := Balanced().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Costs{Energy: 2}).Validate(); err == nil {
+		t.Fatal("out-of-range energy must be invalid")
+	}
+	if err := (Costs{PricePerData: -0.1}).Validate(); err == nil {
+		t.Fatal("negative price must be invalid")
+	}
+}

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/rngutil"
+	"smartexp3/internal/sim"
+	"smartexp3/internal/stats"
+)
+
+// These tests pin the paper's qualitative claims at reduced scale so that a
+// regression in any mechanism shows up as a failed claim, not just a drifted
+// number. Each uses a handful of runs; thresholds are deliberately loose.
+
+// claimRuns executes n Setting-1 runs of an algorithm and returns pooled
+// per-device switch counts and the mean late-run distance to NE.
+func claimRuns(t *testing.T, alg core.Algorithm, n, slots int) (switches []float64, lateDist float64) {
+	t.Helper()
+	var mu sync.Mutex
+	late := stats.NewSeries(slots)
+	err := forEach(2, n, func(run int) error {
+		res, err := sim.Run(sim.Config{
+			Topology: netmodel.Setting1(),
+			Devices:  sim.UniformDevices(20, alg),
+			Slots:    slots,
+			Seed:     rngutil.ChildSeed(999, int64(alg), int64(run)),
+			Collect:  sim.CollectOptions{Distance: true},
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for d := range res.Devices {
+			switches = append(switches, float64(res.Devices[d].Switches))
+		}
+		late.AddRun(res.Distance)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := late.Mean()
+	return switches, stats.Mean(mean[slots*3/4:])
+}
+
+// Claim (Section VI-A / Figure 2): block-based algorithms cut EXP3's
+// switching by around 80%.
+func TestClaimBlockingSlashesSwitching(t *testing.T) {
+	exp3, _ := claimRuns(t, core.AlgEXP3, 3, 600)
+	smart, _ := claimRuns(t, core.AlgSmartEXP3, 3, 600)
+	if stats.Mean(smart) > 0.4*stats.Mean(exp3) {
+		t.Fatalf("Smart EXP3 switches %.1f not ≪ EXP3's %.1f",
+			stats.Mean(smart), stats.Mean(exp3))
+	}
+}
+
+// Claim (Figure 4a): Smart EXP3 converges near NE while EXP3, Greedy and
+// Fixed Random do not.
+func TestClaimSmartConvergesOthersDoNot(t *testing.T) {
+	_, smart := claimRuns(t, core.AlgSmartEXP3, 4, 800)
+	_, exp3 := claimRuns(t, core.AlgEXP3, 4, 800)
+	_, greedy := claimRuns(t, core.AlgGreedy, 4, 800)
+	if smart > 15 {
+		t.Fatalf("Smart EXP3 late distance %.1f%%, want near equilibrium", smart)
+	}
+	if exp3 < 2*smart {
+		t.Fatalf("EXP3 late distance %.1f%% should far exceed Smart's %.1f%%", exp3, smart)
+	}
+	if greedy < 2*smart {
+		t.Fatalf("Greedy late distance %.1f%% should far exceed Smart's %.1f%%", greedy, smart)
+	}
+}
+
+// Claim (Table IV): the greedy coin makes Hybrid stabilize populations
+// faster than plain Block EXP3, and switch-back makes Smart w/o Reset
+// faster still.
+func TestClaimStabilizationOrdering(t *testing.T) {
+	medianStable := func(alg core.Algorithm) float64 {
+		var times []float64
+		var mu sync.Mutex
+		err := forEach(2, 8, func(run int) error {
+			res, err := sim.Run(sim.Config{
+				Topology: netmodel.Setting2(),
+				Devices:  sim.UniformDevices(20, alg),
+				Slots:    1200,
+				Seed:     rngutil.ChildSeed(777, int64(alg), int64(run)),
+				Collect:  sim.CollectOptions{Probabilities: true},
+			})
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if res.StabilityValid && res.Stability.Stable {
+				times = append(times, float64(res.Stability.Slot))
+			} else {
+				times = append(times, 1200) // censored at the horizon
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return medianOf(times)
+	}
+	block := medianStable(core.AlgBlockEXP3)
+	smartNR := medianStable(core.AlgSmartEXP3NoReset)
+	if smartNR >= block {
+		t.Fatalf("Smart w/o Reset stabilizes at %.0f, not faster than Block EXP3's %.0f",
+			smartNR, block)
+	}
+}
+
+// Claim (Figure 8): after devices leave, only the reset-equipped variant
+// rediscovers the freed resources.
+func TestClaimOnlyResetDiscoversFreedResources(t *testing.T) {
+	lateAfterLeave := func(alg core.Algorithm) float64 {
+		late := stats.NewSeries(900)
+		var mu sync.Mutex
+		err := forEach(2, 4, func(run int) error {
+			devices := sim.UniformDevices(20, alg)
+			for d := 4; d < 20; d++ {
+				devices[d].Leave = 450
+			}
+			res, err := sim.Run(sim.Config{
+				Topology: netmodel.Setting1(),
+				Devices:  devices,
+				Slots:    900,
+				Seed:     rngutil.ChildSeed(555, int64(alg), int64(run)),
+				Collect:  sim.CollectOptions{Distance: true},
+			})
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			late.AddRun(res.Distance)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := late.Mean()
+		return stats.Mean(mean[800:])
+	}
+	withReset := lateAfterLeave(core.AlgSmartEXP3)
+	withoutReset := lateAfterLeave(core.AlgSmartEXP3NoReset)
+	if withReset >= withoutReset {
+		t.Fatalf("reset variant (%.1f%%) should beat no-reset (%.1f%%) after mass leave",
+			withReset, withoutReset)
+	}
+}
+
+// Claim (Theorem 2, empirically): per-device switching respects the bound.
+func TestClaimSwitchBoundHolds(t *testing.T) {
+	switches, _ := claimRuns(t, core.AlgSmartEXP3NoReset, 4, 1200)
+	bound := SwitchBound(3, 1200, 1, core.DefaultConfig().Beta)
+	if got := stats.Max(switches); got >= bound {
+		t.Fatalf("max switches %.0f exceed the Theorem 2 bound %.0f", got, bound)
+	}
+}
+
+// Claim (Figure 5): Smart EXP3 allocates downloads more fairly than Greedy.
+func TestClaimSmartFairerThanGreedy(t *testing.T) {
+	fairness := func(alg core.Algorithm) float64 {
+		var sds []float64
+		var mu sync.Mutex
+		err := forEach(2, 5, func(run int) error {
+			res, err := sim.Run(sim.Config{
+				Topology: netmodel.Setting1(),
+				Devices:  sim.UniformDevices(20, alg),
+				Slots:    800,
+				Seed:     rngutil.ChildSeed(333, int64(alg), int64(run)),
+			})
+			if err != nil {
+				return err
+			}
+			var downloads []float64
+			for d := range res.Devices {
+				downloads = append(downloads, res.Devices[d].DownloadMb)
+			}
+			mu.Lock()
+			sds = append(sds, stats.StdDev(downloads))
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(sds)
+	}
+	if smart, greedy := fairness(core.AlgSmartEXP3), fairness(core.AlgGreedy); smart >= greedy {
+		t.Fatalf("Smart EXP3 fairness sd %.0f not below Greedy's %.0f", smart, greedy)
+	}
+}

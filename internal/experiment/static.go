@@ -1,0 +1,339 @@
+package experiment
+
+import (
+	"sync"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/report"
+	"smartexp3/internal/rngutil"
+	"smartexp3/internal/sim"
+	"smartexp3/internal/stats"
+)
+
+// staticAgg aggregates Options.Runs replications of one (setting, algorithm)
+// static simulation — the shared substrate of Figures 2–5 and Tables IV–V.
+type staticAgg struct {
+	Alg     core.Algorithm
+	Runs    int
+	Slots   int
+	Devices int
+
+	SwitchesPerDevice []float64 // pooled over devices and runs
+	ResetsPerDevice   []float64
+
+	StableRuns    int
+	StableAtNE    int
+	SlotsToStable []float64 // stable runs only
+
+	Distance *stats.Series // per-slot mean over runs
+
+	MedianDownloadGB []float64 // per run: median over devices
+	SDDownloadMB     []float64 // per run: stddev over devices
+	UnusedGB         []float64 // per run
+	FracAtNE         []float64 // per run
+	FracAtEps        []float64 // per run
+}
+
+type staticKey struct {
+	setting int
+	alg     core.Algorithm
+	runs    int
+	slots   int
+	devices int
+	seed    int64
+}
+
+var (
+	staticMu    sync.Mutex
+	staticCache = make(map[staticKey]*staticAgg)
+)
+
+func settingTopology(setting int) netmodel.Topology {
+	if setting == 2 {
+		return netmodel.Setting2()
+	}
+	return netmodel.Setting1()
+}
+
+// staticAggFor runs (or returns the cached aggregation of) the static
+// simulation suite for one setting and algorithm.
+func staticAggFor(o Options, setting int, alg core.Algorithm) (*staticAgg, error) {
+	key := staticKey{setting, alg, o.Runs, o.Slots, o.Devices, o.Seed}
+	staticMu.Lock()
+	if agg, ok := staticCache[key]; ok {
+		staticMu.Unlock()
+		return agg, nil
+	}
+	staticMu.Unlock()
+
+	agg := &staticAgg{
+		Alg:      alg,
+		Runs:     o.Runs,
+		Slots:    o.Slots,
+		Devices:  o.Devices,
+		Distance: stats.NewSeries(o.Slots),
+	}
+	var mu sync.Mutex
+	err := forEach(o.workers(), o.Runs, func(run int) error {
+		cfg := sim.Config{
+			Topology: settingTopology(setting),
+			Devices:  sim.UniformDevices(o.Devices, alg),
+			Slots:    o.Slots,
+			Seed:     rngutil.ChildSeed(o.Seed, int64(setting), int64(alg), int64(run)),
+			Collect:  sim.CollectOptions{Distance: true, Probabilities: true},
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		mergeStatic(agg, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	staticMu.Lock()
+	staticCache[key] = agg
+	staticMu.Unlock()
+	return agg, nil
+}
+
+func mergeStatic(agg *staticAgg, res *sim.Result) {
+	var downloads []float64
+	for d := range res.Devices {
+		agg.SwitchesPerDevice = append(agg.SwitchesPerDevice, float64(res.Devices[d].Switches))
+		agg.ResetsPerDevice = append(agg.ResetsPerDevice, float64(res.Devices[d].Resets))
+		downloads = append(downloads, res.Devices[d].DownloadMb)
+	}
+	agg.MedianDownloadGB = append(agg.MedianDownloadGB, sim.MbToGB(stats.Median(downloads)))
+	agg.SDDownloadMB = append(agg.SDDownloadMB, sim.MbToMB(stats.StdDev(downloads)))
+	agg.UnusedGB = append(agg.UnusedGB, sim.MbToGB(res.UnusedMb))
+	agg.FracAtNE = append(agg.FracAtNE, res.FracAtNE)
+	agg.FracAtEps = append(agg.FracAtEps, res.FracAtEps)
+	agg.Distance.AddRun(res.Distance)
+	if res.StabilityValid && res.Stability.Stable {
+		agg.StableRuns++
+		if res.Stability.AtNash {
+			agg.StableAtNE++
+		}
+		agg.SlotsToStable = append(agg.SlotsToStable, float64(res.Stability.Slot))
+	}
+}
+
+// fig2Algorithms are the seven algorithms of Figure 2 (Centralized and Fixed
+// Random incur no switches and are omitted, as in the paper).
+func fig2Algorithms() []core.Algorithm {
+	return []core.Algorithm{
+		core.AlgFullInformation, core.AlgGreedy, core.AlgSmartEXP3,
+		core.AlgSmartEXP3NoReset, core.AlgHybridBlockEXP3, core.AlgBlockEXP3,
+		core.AlgEXP3,
+	}
+}
+
+// stabilityAlgorithms are the block-based variants Figure 3 and Table IV
+// evaluate (EXP3 and Full Information never stabilize; Smart EXP3 resets).
+func stabilityAlgorithms() []core.Algorithm {
+	return []core.Algorithm{
+		core.AlgSmartEXP3NoReset, core.AlgHybridBlockEXP3, core.AlgBlockEXP3,
+	}
+}
+
+func runFig2(o Options) (*report.Report, error) {
+	tbl := report.Table{
+		Title:   "Average number of network switches per device (error = stddev)",
+		Columns: []string{"Algorithm", "Setting 1 mean", "Setting 1 sd", "Setting 2 mean", "Setting 2 sd"},
+	}
+	for _, alg := range fig2Algorithms() {
+		row := []string{alg.String()}
+		for _, setting := range []int{1, 2} {
+			agg, err := staticAggFor(o, setting, alg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				report.F(stats.Mean(agg.SwitchesPerDevice), 1),
+				report.F(stats.StdDev(agg.SwitchesPerDevice), 1))
+		}
+		tbl.AddRow(row...)
+	}
+	return &report.Report{
+		ID:     "fig2",
+		Title:  "Figure 2: network switches by algorithm",
+		Tables: []report.Table{tbl},
+		Notes: []string{
+			"Centralized and Fixed Random never switch and are omitted, as in the paper.",
+		},
+	}, nil
+}
+
+func runFig3(o Options) (*report.Report, error) {
+	tbl := report.Table{
+		Title:   "Percentage of runs reaching a stable state (Definition 2)",
+		Columns: []string{"Algorithm", "S1 %stable@NE", "S1 %stable other", "S2 %stable@NE", "S2 %stable other"},
+	}
+	for _, alg := range stabilityAlgorithms() {
+		row := []string{alg.String()}
+		for _, setting := range []int{1, 2} {
+			agg, err := staticAggFor(o, setting, alg)
+			if err != nil {
+				return nil, err
+			}
+			atNE := 100 * float64(agg.StableAtNE) / float64(agg.Runs)
+			other := 100 * float64(agg.StableRuns-agg.StableAtNE) / float64(agg.Runs)
+			row = append(row, report.F(atNE, 1), report.F(other, 1))
+		}
+		tbl.AddRow(row...)
+	}
+	return &report.Report{
+		ID:     "fig3",
+		Title:  "Figure 3: stable runs and type of stable state",
+		Tables: []report.Table{tbl},
+	}, nil
+}
+
+func runTable4(o Options) (*report.Report, error) {
+	tbl := report.Table{
+		Title:   "Median number of time slots to reach a stable state (stable runs)",
+		Columns: []string{"Algorithm", "Setting 1", "Setting 2"},
+	}
+	for _, alg := range []core.Algorithm{
+		core.AlgBlockEXP3, core.AlgHybridBlockEXP3, core.AlgSmartEXP3NoReset,
+	} {
+		row := []string{alg.String()}
+		for _, setting := range []int{1, 2} {
+			agg, err := staticAggFor(o, setting, alg)
+			if err != nil {
+				return nil, err
+			}
+			if len(agg.SlotsToStable) == 0 {
+				row = append(row, "never")
+				continue
+			}
+			row = append(row, report.F(medianOf(agg.SlotsToStable), 1))
+		}
+		tbl.AddRow(row...)
+	}
+	return &report.Report{
+		ID:     "tab4",
+		Title:  "Table IV: time to stable state",
+		Tables: []report.Table{tbl},
+	}, nil
+}
+
+func runFig4(o Options) (*report.Report, error) {
+	rep := &report.Report{
+		ID:    "fig4",
+		Title: "Figure 4: average distance to Nash equilibrium (static settings)",
+	}
+	summary := report.Table{
+		Title: "Time at equilibrium (Smart EXP3 rows match the paper's 62.77%/74.30% claim)",
+		Columns: []string{
+			"Algorithm", "S1 %slots at NE", "S1 %slots ≤ε", "S2 %slots at NE", "S2 %slots ≤ε",
+		},
+	}
+	for _, setting := range []int{1, 2} {
+		chart := report.Chart{
+			Title:  "Setting " + report.F(float64(setting), 0) + ": mean % higher gain a device could observe at NE",
+			XLabel: "slot",
+		}
+		for _, alg := range core.Algorithms() {
+			agg, err := staticAggFor(o, setting, alg)
+			if err != nil {
+				return nil, err
+			}
+			chart.Add(alg.String(), agg.Distance.Mean())
+		}
+		rep.Charts = append(rep.Charts, chart)
+	}
+	for _, alg := range core.Algorithms() {
+		row := []string{alg.String()}
+		for _, setting := range []int{1, 2} {
+			agg, err := staticAggFor(o, setting, alg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				report.F(100*stats.Mean(agg.FracAtNE), 2),
+				report.F(100*stats.Mean(agg.FracAtEps), 2))
+		}
+		summary.AddRow(row...)
+	}
+	rep.Tables = append(rep.Tables, summary)
+	return rep, nil
+}
+
+func runTable5(o Options) (*report.Report, error) {
+	tbl := report.Table{
+		Title:   "(Mean) per-run median cumulative download (GB)",
+		Columns: []string{"Algorithm", "Setting 1", "Setting 2"},
+	}
+	for _, alg := range core.Algorithms() {
+		row := []string{alg.String()}
+		for _, setting := range []int{1, 2} {
+			agg, err := staticAggFor(o, setting, alg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.F(stats.Mean(agg.MedianDownloadGB), 2))
+		}
+		tbl.AddRow(row...)
+	}
+	return &report.Report{
+		ID:     "tab5",
+		Title:  "Table V: cumulative download",
+		Tables: []report.Table{tbl},
+	}, nil
+}
+
+func runUnutilized(o Options) (*report.Report, error) {
+	tbl := report.Table{
+		Title:   "Mean unutilized resources (GB) over the run",
+		Columns: []string{"Algorithm", "Setting 1", "Setting 2"},
+	}
+	for _, alg := range core.Algorithms() {
+		row := []string{alg.String()}
+		for _, setting := range []int{1, 2} {
+			agg, err := staticAggFor(o, setting, alg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.F(stats.Mean(agg.UnusedGB), 2))
+		}
+		tbl.AddRow(row...)
+	}
+	return &report.Report{
+		ID:     "unutil",
+		Title:  "Unutilized resources (Section VI-A)",
+		Tables: []report.Table{tbl},
+		Notes: []string{
+			"The paper reports Greedy losing ≈8 GB in Setting 1 (devices rate the 4 Mbps network unusable) and none in Setting 2.",
+		},
+	}, nil
+}
+
+func runFig5(o Options) (*report.Report, error) {
+	tbl := report.Table{
+		Title:   "Average per-run stddev of device cumulative downloads (MB); lower = fairer",
+		Columns: []string{"Algorithm", "Setting 1", "Setting 2"},
+	}
+	for _, alg := range core.Algorithms() {
+		row := []string{alg.String()}
+		for _, setting := range []int{1, 2} {
+			agg, err := staticAggFor(o, setting, alg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.F(stats.Mean(agg.SDDownloadMB), 0))
+		}
+		tbl.AddRow(row...)
+	}
+	return &report.Report{
+		ID:     "fig5",
+		Title:  "Figure 5: fairness of cumulative downloads",
+		Tables: []report.Table{tbl},
+	}, nil
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/report"
+	"smartexp3/internal/rngutil"
+	"smartexp3/internal/stats"
+	"smartexp3/internal/wild"
+)
+
+// runWild reproduces the Section VII-B experiment: download a 500 MB file in
+// a nonstationary two-network environment, WildRuns times per algorithm, and
+// compare mean completion times. The paper reports Smart EXP3 at 12.90
+// minutes vs Greedy at 15.67 (≈1.2× faster).
+func runWild(o Options) (*report.Report, error) {
+	tbl := report.Table{
+		Title:   "500 MB download completion time (minutes)",
+		Columns: []string{"Algorithm", "Mean", "StdDev", "Min", "Max", "Mean switches"},
+	}
+	means := make(map[core.Algorithm]float64, 2)
+	for _, alg := range []core.Algorithm{core.AlgSmartEXP3, core.AlgGreedy} {
+		minutes := make([]float64, o.WildRuns)
+		switches := make([]float64, o.WildRuns)
+		var mu sync.Mutex
+		err := forEach(o.workers(), o.WildRuns, func(run int) error {
+			res, err := wild.Run(wild.Config{
+				FileMB:    500,
+				Algorithm: alg,
+				Seed:      rngutil.ChildSeed(o.Seed, 1400, int64(alg), int64(run)),
+			})
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			minutes[run] = res.Minutes
+			switches[run] = float64(res.Switches)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Summarize(minutes)
+		means[alg] = s.Mean
+		tbl.AddRow(alg.String(), report.F(s.Mean, 2), report.F(s.StdDev, 2),
+			report.F(s.Min, 2), report.F(s.Max, 2), report.F(stats.Mean(switches), 1))
+	}
+	speedup := means[core.AlgGreedy] / means[core.AlgSmartEXP3]
+	return &report.Report{
+		ID:     "wild",
+		Title:  "In-the-wild download (Section VII-B)",
+		Tables: []report.Table{tbl},
+		Notes: []string{
+			fmt.Sprintf("Smart EXP3 download speedup over Greedy: %.2fx (paper: ≈1.2x).", speedup),
+		},
+	}, nil
+}

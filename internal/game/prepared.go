@@ -1,0 +1,73 @@
+package game
+
+import (
+	"math"
+	"sort"
+)
+
+// PreparedNE caches the Nash-equilibrium solution of an Instance so that the
+// per-slot distance-to-NE metric can be evaluated cheaply: the simulator
+// recomputes the NE only when the set of active devices or an availability
+// set changes (an "epoch"), and evaluates Distance every slot.
+type PreparedNE struct {
+	shares []float64 // per-device gain at the cached NE assignment
+	sigs   []string  // availability signature per device
+	assign []int     // the cached NE assignment
+}
+
+// Prepare solves the instance once and returns the cached solution.
+func Prepare(in Instance) (*PreparedNE, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	assign := in.NashAssignment()
+	p := &PreparedNE{
+		shares: in.SharesOf(assign),
+		sigs:   make([]string, len(in.Devices)),
+		assign: assign,
+	}
+	for d, dev := range in.Devices {
+		p.sigs[d] = signature(dev.Available)
+	}
+	return p, nil
+}
+
+// Assignment returns the cached NE assignment (device → network).
+// Callers must not modify it.
+func (p *PreparedNE) Assignment() []int { return p.assign }
+
+// ShareOf returns device d's gain at the cached NE.
+func (p *PreparedNE) ShareOf(d int) float64 { return p.shares[d] }
+
+// Distance evaluates Definition 3 over the given member devices (nil means
+// all devices): members are partitioned by availability signature, each
+// partition's current gains are rank-matched against the partition's NE
+// shares, and the worst percentage shortfall is returned. currentGains is
+// indexed like the instance's devices.
+func (p *PreparedNE) Distance(currentGains []float64, members []int) float64 {
+	if members == nil {
+		members = make([]int, len(p.shares))
+		for d := range members {
+			members[d] = d
+		}
+	}
+	groups := make(map[string][]int)
+	for _, d := range members {
+		groups[p.sigs[d]] = append(groups[p.sigs[d]], d)
+	}
+	var worst float64
+	for _, ds := range groups {
+		cur := make([]float64, 0, len(ds))
+		ne := make([]float64, 0, len(ds))
+		for _, d := range ds {
+			cur = append(cur, currentGains[d])
+			ne = append(ne, p.shares[d])
+		}
+		sort.Float64s(cur)
+		sort.Float64s(ne)
+		for i := range cur {
+			worst = math.Max(worst, percentGainIncrease(cur[i], ne[i]))
+		}
+	}
+	return worst
+}

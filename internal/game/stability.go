@@ -1,0 +1,113 @@
+package game
+
+// This file implements stable-state detection (Definition 2) and the
+// distance-from-average-bit-rate metric used in the controlled experiments
+// (Definition 4).
+
+// StableProbability is the selection-probability threshold of Definition 2:
+// an algorithm instance is stable on a network once it selects that network
+// with probability at least 0.75 and keeps doing so until the end of the run.
+const StableProbability = 0.75
+
+// StableFrom returns the earliest slot t0 such that from t0 through the end
+// of the run the device's most-probable network is constant and its
+// probability is at least StableProbability, or -1 if the device never
+// stabilizes. argmax[t] is the index of the most probable network at slot t
+// and prob[t] its probability.
+func StableFrom(argmax []int, prob []float64) int {
+	if len(argmax) == 0 || len(argmax) != len(prob) {
+		return -1
+	}
+	last := len(argmax) - 1
+	if prob[last] < StableProbability {
+		return -1
+	}
+	net := argmax[last]
+	t0 := last
+	for t := last; t >= 0; t-- {
+		if argmax[t] != net || prob[t] < StableProbability {
+			break
+		}
+		t0 = t
+	}
+	return t0
+}
+
+// RunStability summarizes Definition 2 for one run.
+type RunStability struct {
+	// Stable is true when every device stabilized.
+	Stable bool
+	// Slot is the slot at which the last device stabilized (the run's time
+	// to stable state); meaningful only when Stable.
+	Slot int
+	// AtNash is true when the run is stable and the allocation implied by
+	// each device's stable network is a pure Nash equilibrium; meaningful
+	// only when Stable.
+	AtNash bool
+}
+
+// DetectStability applies Definition 2 to a run. argmax[d][t] and prob[d][t]
+// are per-device per-slot snapshots of the most probable network;
+// bandwidths are the network bandwidths (used to classify the stable state
+// as Nash or not).
+func DetectStability(bandwidths []float64, argmax [][]int, prob [][]float64) RunStability {
+	var res RunStability
+	counts := make([]int, len(bandwidths))
+	for d := range argmax {
+		t0 := StableFrom(argmax[d], prob[d])
+		if t0 < 0 {
+			return RunStability{}
+		}
+		if t0 > res.Slot {
+			res.Slot = t0
+		}
+		last := len(argmax[d]) - 1
+		counts[argmax[d][last]]++
+	}
+	res.Stable = true
+	res.AtNash = IsNash(bandwidths, counts)
+	return res
+}
+
+// DistanceFromAverageBitRate implements Definition 4: estimate the fair
+// average bit rate g = (aggregate bandwidth)/(number of devices) and return
+// the mean percentage by which observed bit rates fall below g, i.e.
+// mean over devices of max(g - g_j, 0) * 100 / g.
+func DistanceFromAverageBitRate(aggregateBandwidth float64, observed []float64) float64 {
+	if len(observed) == 0 || aggregateBandwidth <= 0 {
+		return 0
+	}
+	return DistanceBelowFairRate(aggregateBandwidth/float64(len(observed)), observed)
+}
+
+// DistanceBelowFairRate is Definition 4 with an explicit fair rate g: the
+// mean percentage by which the observed bit rates fall below g. It lets a
+// subgroup of devices (for example the Smart EXP3 half of a mixed
+// population) be measured against the fair share of the whole population.
+func DistanceBelowFairRate(fairRate float64, observed []float64) float64 {
+	if len(observed) == 0 || fairRate <= 0 {
+		return 0
+	}
+	var total float64
+	for _, gj := range observed {
+		if gj < fairRate {
+			total += (fairRate - gj) * 100 / fairRate
+		}
+	}
+	return total / float64(len(observed))
+}
+
+// OptimalDistanceFromAverage returns the Definition 4 distance evaluated at
+// the Nash allocation: the floor the controlled-experiment figures plot as
+// "Optimal". With heterogeneous network rates even the NE leaves some
+// devices below the global average, so the optimal distance is generally
+// positive.
+func OptimalDistanceFromAverage(bandwidths []float64, devices int) float64 {
+	counts := NashCounts(bandwidths, devices)
+	shares := NashShares(bandwidths, counts)
+	var agg float64
+	for _, b := range bandwidths {
+		agg += b
+	}
+	return DistanceFromAverageBitRate(agg, shares)
+}

@@ -1,0 +1,147 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStableFrom(t *testing.T) {
+	tests := []struct {
+		name   string
+		argmax []int
+		prob   []float64
+		want   int
+	}{
+		{
+			name:   "stable from slot 2",
+			argmax: []int{0, 1, 1, 1},
+			prob:   []float64{0.9, 0.5, 0.8, 0.9},
+			want:   2,
+		},
+		{
+			name:   "stable whole run",
+			argmax: []int{2, 2, 2},
+			prob:   []float64{0.8, 0.8, 0.8},
+			want:   0,
+		},
+		{
+			name:   "never stable: low final probability",
+			argmax: []int{1, 1, 1},
+			prob:   []float64{0.9, 0.9, 0.5},
+			want:   -1,
+		},
+		{
+			name:   "network change breaks the suffix",
+			argmax: []int{0, 1, 0, 0},
+			prob:   []float64{0.9, 0.9, 0.9, 0.9},
+			want:   2,
+		},
+		{name: "empty", argmax: nil, prob: nil, want: -1},
+		{
+			name:   "mismatched lengths",
+			argmax: []int{0, 0},
+			prob:   []float64{0.9},
+			want:   -1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := StableFrom(tt.argmax, tt.prob); got != tt.want {
+				t.Fatalf("StableFrom = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDetectStabilityAtNash(t *testing.T) {
+	// Two devices, two 10 Mbps networks; each stable on its own network —
+	// the (1,1) allocation is the NE.
+	bws := []float64{10, 10}
+	argmax := [][]int{{0, 0, 0}, {1, 1, 1}}
+	prob := [][]float64{{0.8, 0.9, 0.9}, {0.8, 0.9, 0.9}}
+	res := DetectStability(bws, argmax, prob)
+	if !res.Stable || !res.AtNash {
+		t.Fatalf("want stable at NE, got %+v", res)
+	}
+	if res.Slot != 0 {
+		t.Fatalf("stable slot = %d, want 0", res.Slot)
+	}
+}
+
+func TestDetectStabilityNotAtNash(t *testing.T) {
+	// Both devices stable on the same network while the other sits idle:
+	// stable but not an equilibrium.
+	bws := []float64{10, 10}
+	argmax := [][]int{{0, 0}, {0, 0}}
+	prob := [][]float64{{0.9, 0.9}, {0.9, 0.9}}
+	res := DetectStability(bws, argmax, prob)
+	if !res.Stable || res.AtNash {
+		t.Fatalf("want stable at non-NE, got %+v", res)
+	}
+}
+
+func TestDetectStabilityUnstableDevice(t *testing.T) {
+	bws := []float64{10, 10}
+	argmax := [][]int{{0, 0}, {0, 1}}
+	prob := [][]float64{{0.9, 0.9}, {0.9, 0.5}}
+	res := DetectStability(bws, argmax, prob)
+	if res.Stable {
+		t.Fatalf("want unstable, got %+v", res)
+	}
+}
+
+func TestDetectStabilityLastDeviceDefinesSlot(t *testing.T) {
+	bws := []float64{10, 10}
+	argmax := [][]int{{0, 0, 0, 0}, {0, 0, 1, 1}}
+	prob := [][]float64{{0.9, 0.9, 0.9, 0.9}, {0.9, 0.9, 0.9, 0.9}}
+	res := DetectStability(bws, argmax, prob)
+	if !res.Stable || res.Slot != 2 {
+		t.Fatalf("want stable at slot 2, got %+v", res)
+	}
+}
+
+func TestDistanceFromAverageBitRate(t *testing.T) {
+	// Fair share of 33 Mbps over 3 devices is 11; observations 11,11,5.5
+	// put one device 50% below → mean distance 50/3.
+	got := DistanceFromAverageBitRate(33, []float64{11, 11, 5.5})
+	want := 50.0 / 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("distance = %v, want %v", got, want)
+	}
+}
+
+func TestDistanceFromAverageBitRateAboveFairShareIsZero(t *testing.T) {
+	if got := DistanceFromAverageBitRate(30, []float64{20, 20, 20}); got != 0 {
+		t.Fatalf("distance = %v, want 0 when everyone beats the fair share", got)
+	}
+}
+
+func TestDistanceFromAverageBitRateDegenerate(t *testing.T) {
+	if got := DistanceFromAverageBitRate(0, []float64{1}); got != 0 {
+		t.Fatalf("zero aggregate should yield 0, got %v", got)
+	}
+	if got := DistanceFromAverageBitRate(10, nil); got != 0 {
+		t.Fatalf("no devices should yield 0, got %v", got)
+	}
+}
+
+func TestDistanceBelowFairRateSubgroup(t *testing.T) {
+	// Subgroup measured against the whole population's fair share.
+	got := DistanceBelowFairRate(2, []float64{1, 2})
+	if math.Abs(got-25) > 1e-9 {
+		t.Fatalf("subgroup distance = %v, want 25", got)
+	}
+}
+
+func TestOptimalDistanceFromAverage(t *testing.T) {
+	// Uniform networks: the NE gives everyone exactly the fair share.
+	if got := OptimalDistanceFromAverage([]float64{11, 11, 11}, 21); got != 0 {
+		t.Fatalf("uniform optimal distance = %v, want 0", got)
+	}
+	// Heterogeneous networks: even the NE leaves some devices below
+	// average, so the floor is positive.
+	got := OptimalDistanceFromAverage([]float64{4, 7, 22}, 14)
+	if got <= 0 || got >= 100 {
+		t.Fatalf("setting-1 optimal distance = %v, want small positive", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package netmodel describes the wireless environments of Section II: sets
+// of heterogeneous networks (WiFi access points and cellular), service areas
+// delimiting their coverage, and the standard topologies the evaluation uses
+// (Settings 1 and 2, and the Figure 1 food-court/study-area/bus-stop map).
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Type distinguishes network technologies; switching delay is modeled per
+// technology (Johnson's S_U for WiFi, Student's t for cellular).
+type Type int
+
+// Supported network technologies.
+const (
+	WiFi Type = iota + 1
+	Cellular
+)
+
+// String returns the technology name.
+func (t Type) String() string {
+	switch t {
+	case WiFi:
+		return "wifi"
+	case Cellular:
+		return "cellular"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Network is one selectable wireless network.
+type Network struct {
+	Name      string
+	Type      Type
+	Bandwidth float64 // achievable aggregate data rate in Mbps
+}
+
+// Topology is a set of networks plus the service areas that scope their
+// visibility. Areas[a] lists the indices (into Networks) visible from area a.
+// A topology with a single area models the homogeneous-availability settings.
+type Topology struct {
+	Networks []Network
+	Areas    [][]int
+}
+
+// Validate reports whether the topology is well-formed.
+func (tp Topology) Validate() error {
+	if len(tp.Networks) == 0 {
+		return errors.New("netmodel: topology needs at least one network")
+	}
+	for i, n := range tp.Networks {
+		if n.Bandwidth <= 0 {
+			return fmt.Errorf("netmodel: network %d (%s) must have positive bandwidth", i, n.Name)
+		}
+		if n.Type != WiFi && n.Type != Cellular {
+			return fmt.Errorf("netmodel: network %d (%s) has unknown type", i, n.Name)
+		}
+	}
+	if len(tp.Areas) == 0 {
+		return errors.New("netmodel: topology needs at least one area")
+	}
+	for a, nets := range tp.Areas {
+		if len(nets) == 0 {
+			return fmt.Errorf("netmodel: area %d has no visible network", a)
+		}
+		for _, i := range nets {
+			if i < 0 || i >= len(tp.Networks) {
+				return fmt.Errorf("netmodel: area %d references network %d out of %d",
+					a, i, len(tp.Networks))
+			}
+		}
+	}
+	return nil
+}
+
+// Bandwidths returns the per-network bandwidths in index order.
+func (tp Topology) Bandwidths() []float64 {
+	out := make([]float64, len(tp.Networks))
+	for i, n := range tp.Networks {
+		out[i] = n.Bandwidth
+	}
+	return out
+}
+
+// AggregateBandwidth returns the total bandwidth over all networks in Mbps.
+func (tp Topology) AggregateBandwidth() float64 {
+	var total float64
+	for _, n := range tp.Networks {
+		total += n.Bandwidth
+	}
+	return total
+}
+
+// MaxBandwidth returns the largest single-network bandwidth, the default
+// scale that maps observed bit rates into the [0,1] gain range.
+func (tp Topology) MaxBandwidth() float64 {
+	var maxBW float64
+	for _, n := range tp.Networks {
+		if n.Bandwidth > maxBW {
+			maxBW = n.Bandwidth
+		}
+	}
+	return maxBW
+}
+
+// SingleArea builds a topology in which every device sees every network.
+func SingleArea(networks ...Network) Topology {
+	all := make([]int, len(networks))
+	for i := range networks {
+		all[i] = i
+	}
+	return Topology{Networks: networks, Areas: [][]int{all}}
+}
+
+// Setting1 is the paper's static Setting 1: three networks with non-uniform
+// data rates 4, 7 and 22 Mbps (33 Mbps aggregate), yielding a unique Nash
+// equilibrium for 20 devices.
+func Setting1() Topology {
+	return SingleArea(
+		Network{Name: "wlan-4", Type: WiFi, Bandwidth: 4},
+		Network{Name: "wlan-7", Type: WiFi, Bandwidth: 7},
+		Network{Name: "cell-22", Type: Cellular, Bandwidth: 22},
+	)
+}
+
+// Setting2 is the paper's static Setting 2: three networks with a uniform
+// 11 Mbps data rate (33 Mbps aggregate), yielding multiple equivalent Nash
+// equilibria.
+func Setting2() Topology {
+	return SingleArea(
+		Network{Name: "wlan-a", Type: WiFi, Bandwidth: 11},
+		Network{Name: "wlan-b", Type: WiFi, Bandwidth: 11},
+		Network{Name: "wlan-c", Type: WiFi, Bandwidth: 11},
+	)
+}
+
+// Uniform builds a single-area topology of k identical WiFi networks, used
+// by the scalability sweeps (Figure 6).
+func Uniform(k int, bandwidth float64) Topology {
+	nets := make([]Network, k)
+	for i := range nets {
+		nets[i] = Network{
+			Name:      fmt.Sprintf("wlan-%d", i+1),
+			Type:      WiFi,
+			Bandwidth: bandwidth,
+		}
+	}
+	return SingleArea(nets...)
+}
+
+// Names of the Figure 1 service areas (see FoodCourt).
+const (
+	AreaFoodCourt = 0
+	AreaStudyArea = 1
+	AreaBusStop   = 2
+)
+
+// FoodCourt is the Figure 1 topology used by the mobility experiment
+// (Setting 3 of Section VI-A): five networks with bandwidths 16, 14, 22, 7
+// and 4 Mbps and three service areas. Network 1 is the cellular network
+// visible everywhere; the food court additionally sees WLANs 2 and 3, the
+// study area WLAN 4, and the bus stop WLAN 5.
+func FoodCourt() Topology {
+	return Topology{
+		Networks: []Network{
+			{Name: "cell-1", Type: Cellular, Bandwidth: 16},
+			{Name: "wlan-2", Type: WiFi, Bandwidth: 14},
+			{Name: "wlan-3", Type: WiFi, Bandwidth: 22},
+			{Name: "wlan-4", Type: WiFi, Bandwidth: 7},
+			{Name: "wlan-5", Type: WiFi, Bandwidth: 4},
+		},
+		Areas: [][]int{
+			AreaFoodCourt: {0, 1, 2},
+			AreaStudyArea: {0, 3},
+			AreaBusStop:   {0, 4},
+		},
+	}
+}

@@ -1,0 +1,132 @@
+package netmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStandardTopologiesValid(t *testing.T) {
+	for name, tp := range map[string]Topology{
+		"setting1":  Setting1(),
+		"setting2":  Setting2(),
+		"foodcourt": FoodCourt(),
+		"uniform":   Uniform(5, 11),
+	} {
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestSetting1Shape(t *testing.T) {
+	tp := Setting1()
+	if got := tp.AggregateBandwidth(); got != 33 {
+		t.Fatalf("aggregate bandwidth %v, want 33", got)
+	}
+	if got := tp.MaxBandwidth(); got != 22 {
+		t.Fatalf("max bandwidth %v, want 22", got)
+	}
+	bws := tp.Bandwidths()
+	if bws[0] != 4 || bws[1] != 7 || bws[2] != 22 {
+		t.Fatalf("bandwidths %v, want [4 7 22]", bws)
+	}
+	if len(tp.Areas) != 1 || len(tp.Areas[0]) != 3 {
+		t.Fatalf("setting 1 must be single-area with all networks: %v", tp.Areas)
+	}
+}
+
+func TestSetting2Uniform(t *testing.T) {
+	tp := Setting2()
+	for i, n := range tp.Networks {
+		if n.Bandwidth != 11 {
+			t.Fatalf("network %d bandwidth %v, want 11", i, n.Bandwidth)
+		}
+	}
+	if got := tp.AggregateBandwidth(); got != 33 {
+		t.Fatalf("aggregate %v, want 33", got)
+	}
+}
+
+func TestFoodCourtTopology(t *testing.T) {
+	tp := FoodCourt()
+	if len(tp.Networks) != 5 {
+		t.Fatalf("food court has %d networks, want 5", len(tp.Networks))
+	}
+	want := []float64{16, 14, 22, 7, 4}
+	for i, bw := range tp.Bandwidths() {
+		if bw != want[i] {
+			t.Fatalf("network %d bandwidth %v, want %v", i, bw, want[i])
+		}
+	}
+	// The cellular network (index 0) is visible from every area.
+	for a, nets := range tp.Areas {
+		found := false
+		for _, id := range nets {
+			if id == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("area %d cannot see the cellular network", a)
+		}
+	}
+	if tp.Networks[0].Type != Cellular {
+		t.Fatal("network 1 must be cellular")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	tp := Uniform(7, 11)
+	if len(tp.Networks) != 7 {
+		t.Fatalf("got %d networks", len(tp.Networks))
+	}
+	if got := tp.AggregateBandwidth(); got != 77 {
+		t.Fatalf("aggregate %v", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		tp   Topology
+		want string
+	}{
+		{"no networks", Topology{Areas: [][]int{{0}}}, "network"},
+		{"zero bandwidth", Topology{
+			Networks: []Network{{Name: "x", Type: WiFi}},
+			Areas:    [][]int{{0}},
+		}, "bandwidth"},
+		{"bad type", Topology{
+			Networks: []Network{{Name: "x", Bandwidth: 1}},
+			Areas:    [][]int{{0}},
+		}, "type"},
+		{"no areas", Topology{
+			Networks: []Network{{Name: "x", Type: WiFi, Bandwidth: 1}},
+		}, "area"},
+		{"empty area", Topology{
+			Networks: []Network{{Name: "x", Type: WiFi, Bandwidth: 1}},
+			Areas:    [][]int{{}},
+		}, "area"},
+		{"dangling reference", Topology{
+			Networks: []Network{{Name: "x", Type: WiFi, Bandwidth: 1}},
+			Areas:    [][]int{{3}},
+		}, "references"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.tp.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %v, want mention of %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if WiFi.String() != "wifi" || Cellular.String() != "cellular" {
+		t.Fatal("unexpected type names")
+	}
+	if !strings.Contains(Type(9).String(), "9") {
+		t.Fatal("unknown type should include its value")
+	}
+}

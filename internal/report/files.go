@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFiles persists a report under dir: <id>.txt (plain text), <id>.md
+// (markdown), and one <id>.chartN.csv per chart with the raw series. The
+// directory is created if needed.
+func WriteFiles(dir string, rep *Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("report: create %s: %w", dir, err)
+	}
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return fmt.Errorf("report: write %s: %w", path, err)
+		}
+		return nil
+	}
+	if err := write(rep.ID+".txt", rep.String()); err != nil {
+		return err
+	}
+	if err := write(rep.ID+".md", rep.Markdown()); err != nil {
+		return err
+	}
+	for i := range rep.Charts {
+		name := fmt.Sprintf("%s.chart%d.csv", rep.ID, i+1)
+		if err := write(name, rep.Charts[i].CSV()); err != nil {
+			return err
+		}
+		name = fmt.Sprintf("%s.chart%d.svg", rep.ID, i+1)
+		if err := write(name, rep.Charts[i].SVG()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

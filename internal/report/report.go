@@ -1,0 +1,296 @@
+// Package report renders evaluation results as text: aligned tables for the
+// paper's tables, ASCII line charts and CSV series for its figures. Go has
+// no plotting library in the standard library, so the reproducible artifact
+// for each figure is its numeric series plus a terminal rendering.
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of pre-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// F formats a float with the given number of decimals (the table-cell
+// helper).
+func F(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a titled collection of series over a shared x axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XStart and XStep map series indices to x values (defaults 0 and 1).
+	XStart float64
+	XStep  float64
+	Series []Series
+}
+
+// Add appends a series.
+func (c *Chart) Add(name string, values []float64) {
+	c.Series = append(c.Series, Series{Name: name, Values: values})
+}
+
+// CSV renders the chart's data as "x,<name1>,<name2>,..." rows.
+func (c *Chart) CSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	maxLen := 0
+	for _, s := range c.Series {
+		b.WriteString("," + s.Name)
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	b.WriteByte('\n')
+	step := c.XStep
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < maxLen; i++ {
+		b.WriteString(strconv.FormatFloat(c.XStart+float64(i)*step, 'f', -1, 64))
+		for _, s := range c.Series {
+			b.WriteByte(',')
+			if i < len(s.Values) {
+				b.WriteString(strconv.FormatFloat(s.Values[i], 'f', 4, 64))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// markers distinguish series in the ASCII rendering.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$'}
+
+// String renders the chart as an ASCII plot (width×height character cells)
+// with a legend. Series are downsampled or stretched to the width.
+func (c *Chart) String() string {
+	const (
+		width  = 84
+		height = 18
+	)
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+
+	lo, hi, any := rangeOf(c.Series)
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		n := len(s.Values)
+		if n == 0 {
+			continue
+		}
+		for col := 0; col < width; col++ {
+			idx := col * (n - 1) / max(width-1, 1)
+			v := s.Values[idx]
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+
+	yTop := fmt.Sprintf("%8.2f", hi)
+	yBot := fmt.Sprintf("%8.2f", lo)
+	for r := range grid {
+		switch r {
+		case 0:
+			b.WriteString(yTop)
+		case height - 1:
+			b.WriteString(yBot)
+		default:
+			b.WriteString(strings.Repeat(" ", 8))
+		}
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	step := c.XStep
+	if step == 0 {
+		step = 1
+	}
+	maxLen := 0
+	for _, s := range c.Series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	xEnd := c.XStart + float64(maxLen-1)*step
+	fmt.Fprintf(&b, "%10s%-20s%*s\n", "", formatX(c.XStart, c.XLabel), width-20,
+		formatX(xEnd, ""))
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func formatX(v float64, label string) string {
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	if label != "" {
+		s += " " + label
+	}
+	return s
+}
+
+func rangeOf(series []Series) (lo, hi float64, any bool) {
+	for _, s := range series {
+		for _, v := range s.Values {
+			if !any {
+				lo, hi, any = v, v, true
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi, any
+}
+
+// Report bundles everything one experiment produces.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Charts []Chart
+	Notes  []string
+}
+
+// String renders the full report as plain text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", r.ID, r.Title)
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].String())
+		b.WriteByte('\n')
+	}
+	for i := range r.Charts {
+		b.WriteString(r.Charts[i].String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// Markdown renders the full report as markdown.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].Markdown())
+		b.WriteByte('\n')
+	}
+	for i := range r.Charts {
+		fmt.Fprintf(&b, "**%s**\n\n```\n%s```\n\n", r.Charts[i].Title, r.Charts[i].String())
+	}
+	for _, n := range r.Notes {
+		b.WriteString("> " + n + "\n")
+	}
+	return b.String()
+}

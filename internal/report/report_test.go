@@ -1,0 +1,170 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	t := Table{
+		Title:   "Sample",
+		Columns: []string{"Algorithm", "Value"},
+	}
+	t.AddRow("Smart EXP3", "3.53")
+	t.AddRow("Greedy", "3.12")
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	tbl := sampleTable()
+	got := tbl.String()
+	for _, want := range []string{"Sample", "Algorithm", "Smart EXP3", "3.12", "---"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, got)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), got)
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tbl := sampleTable()
+	got := tbl.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	// "Value" column starts at the same offset in header and rows.
+	headerIdx := strings.Index(lines[1], "Value")
+	rowIdx := strings.Index(lines[3], "3.53")
+	if headerIdx != rowIdx {
+		t.Fatalf("column misaligned: header at %d, row at %d\n%s", headerIdx, rowIdx, got)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := sampleTable()
+	got := tbl.Markdown()
+	if !strings.Contains(got, "| Algorithm | Value |") {
+		t.Fatalf("markdown missing header: %s", got)
+	}
+	if !strings.Contains(got, "|---|---|") {
+		t.Fatalf("markdown missing separator: %s", got)
+	}
+	if !strings.Contains(got, "| Smart EXP3 | 3.53 |") {
+		t.Fatalf("markdown missing row: %s", got)
+	}
+}
+
+func TestF(t *testing.T) {
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Fatalf("F = %q", got)
+	}
+	if got := F(5, 0); got != "5" {
+		t.Fatalf("F = %q", got)
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	c := Chart{XStart: 10, XStep: 5}
+	c.Add("a", []float64{1, 2})
+	c.Add("b", []float64{3})
+	got := c.CSV()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if lines[0] != "x,a,b" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "10,1.0000,3.0000") {
+		t.Fatalf("csv row 1 %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "15,2.0000,") {
+		t.Fatalf("csv row 2 %q (short series must leave a gap)", lines[2])
+	}
+}
+
+func TestChartString(t *testing.T) {
+	c := Chart{Title: "test chart", XLabel: "slot"}
+	c.Add("rising", []float64{0, 1, 2, 3, 4})
+	c.Add("flat", []float64{2, 2, 2, 2, 2})
+	got := c.String()
+	for _, want := range []string{"test chart", "rising", "flat", "*", "+", "4.00", "0.00"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("chart missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if got := c.String(); !strings.Contains(got, "no data") {
+		t.Fatalf("empty chart rendered %q", got)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	c := Chart{}
+	c.Add("const", []float64{5, 5, 5})
+	got := c.String()
+	if !strings.Contains(got, "const") {
+		t.Fatalf("constant-series chart broke: %s", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{
+		ID:     "fig0",
+		Title:  "demo",
+		Tables: []Table{sampleTable()},
+		Notes:  []string{"a note"},
+	}
+	got := rep.String()
+	for _, want := range []string{"fig0", "demo", "Smart EXP3", "note: a note"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	rep := &Report{ID: "fig0", Title: "demo", Tables: []Table{sampleTable()}}
+	got := rep.Markdown()
+	if !strings.Contains(got, "## fig0 — demo") {
+		t.Fatalf("markdown heading missing:\n%s", got)
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	chart := Chart{Title: "c"}
+	chart.Add("s", []float64{1, 2, 3})
+	rep := &Report{
+		ID:     "figX",
+		Title:  "demo",
+		Tables: []Table{sampleTable()},
+		Charts: []Chart{chart},
+	}
+	if err := WriteFiles(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figX.txt", "figX.md", "figX.chart1.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestWriteFilesCreatesNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	rep := &Report{ID: "r", Title: "t"}
+	if err := WriteFiles(dir, rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "r.txt")); err != nil {
+		t.Fatal(err)
+	}
+}

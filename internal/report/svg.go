@@ -1,0 +1,129 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renders the chart as a standalone SVG line plot with axes, ticks and a
+// legend. Go has no plotting library in its standard ecosystem, so this
+// hand-rolled renderer is how the reproduction's figures become viewable
+// graphics; the numeric truth stays in CSV().
+func (c *Chart) SVG() string {
+	const (
+		width   = 840
+		height  = 420
+		marginL = 70
+		marginR = 180
+		marginT = 40
+		marginB = 50
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	lo, hi, any := rangeOf(c.Series)
+	if !any {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40"><text x="10" y="25">no data</text></svg>`
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Pad the y range slightly so extreme points are not clipped by strokes.
+	pad := (hi - lo) * 0.03
+	lo, hi = lo-pad, hi+pad
+
+	maxLen := 0
+	for _, s := range c.Series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	step := c.XStep
+	if step == 0 {
+		step = 1
+	}
+	xLo := c.XStart
+	xHi := c.XStart + float64(maxLen-1)*step
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+
+	toX := func(x float64) float64 {
+		return marginL + (x-xLo)/(xHi-xLo)*float64(plotW)
+	}
+	toY := func(y float64) float64 {
+		return marginT + (hi-y)/(hi-lo)*float64(plotH)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-size="14" font-weight="bold">%s</text>`+"\n",
+			marginL, escapeXML(c.Title))
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 4; i++ {
+		yv := lo + (hi-lo)*float64(i)/4
+		y := toY(yv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.4g</text>`+"\n",
+			marginL-6, y+4, yv)
+
+		xv := xLo + (xHi-xLo)*float64(i)/4
+		x := toX(xv)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%.4g</text>`+"\n",
+			x, marginT+plotH+18, xv)
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+			marginL+plotW/2, height-8, escapeXML(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, escapeXML(c.YLabel))
+	}
+
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		if len(s.Values) > 0 {
+			var pts strings.Builder
+			for i, v := range s.Values {
+				if i > 0 {
+					pts.WriteByte(' ')
+				}
+				fmt.Fprintf(&pts, "%.1f,%.1f", toX(c.XStart+float64(i)*step), toY(v))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				pts.String(), color)
+		}
+		// Legend entry.
+		ly := marginT + 16*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			marginL+plotW+12, ly, marginL+plotW+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			marginL+plotW+40, ly+4, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// svgPalette is a colorblind-friendly line palette.
+var svgPalette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00",
+	"#56b4e9", "#f0e442", "#000000", "#999999",
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

@@ -1,0 +1,97 @@
+package report
+
+import (
+	"encoding/xml"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSVGWellFormedXML(t *testing.T) {
+	c := Chart{Title: "distance & gain <test>", XLabel: "slot"}
+	c.Add("Smart EXP3", []float64{10, 5, 2, 1})
+	c.Add("Greedy", []float64{10, 12, 14, 15})
+	svg := c.SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestSVGContainsSeriesAndTitle(t *testing.T) {
+	c := Chart{Title: "my title"}
+	c.Add("series-a", []float64{1, 2, 3})
+	svg := c.SVG()
+	for _, want := range []string{"my title", "series-a", "<polyline", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	var c Chart
+	if svg := c.SVG(); !strings.Contains(svg, "no data") {
+		t.Fatalf("empty chart SVG = %q", svg)
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	c := Chart{}
+	c.Add("flat", []float64{3, 3, 3})
+	svg := c.SVG()
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("constant series produced no polyline")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("SVG contains non-finite coordinates")
+	}
+}
+
+func TestSVGEscapesNames(t *testing.T) {
+	c := Chart{Title: `a<b>"c"&d`}
+	c.Add("x&y", []float64{1})
+	svg := c.SVG()
+	if strings.Contains(svg, `a<b>`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "x&amp;y") {
+		t.Fatal("series name not escaped")
+	}
+}
+
+func TestSVGCoordinatesWithinViewport(t *testing.T) {
+	c := Chart{}
+	c.Add("s", []float64{-100, 0, 100})
+	svg := c.SVG()
+	// Every polyline point must sit inside the 840×420 viewport.
+	start := strings.Index(svg, `<polyline points="`)
+	if start < 0 {
+		t.Fatal("no polyline")
+	}
+	rest := svg[start+len(`<polyline points="`):]
+	end := strings.Index(rest, `"`)
+	for _, pt := range strings.Fields(rest[:end]) {
+		xy := strings.Split(pt, ",")
+		if len(xy) != 2 {
+			t.Fatalf("bad point %q", pt)
+		}
+		x, err := strconv.ParseFloat(xy[0], 64)
+		if err != nil {
+			t.Fatalf("bad x in %q: %v", pt, err)
+		}
+		y, err := strconv.ParseFloat(xy[1], 64)
+		if err != nil {
+			t.Fatalf("bad y in %q: %v", pt, err)
+		}
+		if x < 0 || x > 840 || y < 0 || y > 420 {
+			t.Fatalf("point %q outside the viewport", pt)
+		}
+	}
+}

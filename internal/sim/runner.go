@@ -1,0 +1,494 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/criteria"
+	"smartexp3/internal/game"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/rngutil"
+)
+
+// runner holds the mutable state of one simulation run.
+type runner struct {
+	cfg         Config
+	centralized bool
+
+	policies []core.Policy
+	rngs     []*rand.Rand // per-device stream (policy + delay + noise)
+	areas    []int        // current area per device
+	active   []bool
+	choices  []int // current slot's network per device (-1 inactive)
+	lastNet  []int // previous slot's network per device (-1 none)
+
+	// Epoch-scoped NE cache.
+	activeList []int // device ids active this epoch, ascending
+	instance   game.Instance
+	prepared   *game.PreparedNE
+	coordNets  []int // centralized coordinator's assignment (per device id)
+
+	// Per-slot scratch.
+	counts   []int
+	bitrates []float64
+
+	// Stability recording.
+	argmaxRec [][]int
+	probRec   [][]float64
+
+	res        *Result
+	atNESlots  int
+	atEpsSlots int
+	distSlots  int
+}
+
+func newRunner(cfg Config) *runner {
+	n := len(cfg.Devices)
+	r := &runner{
+		cfg:         cfg,
+		centralized: cfg.Devices[0].Algorithm == core.AlgCentralized,
+		policies:    make([]core.Policy, n),
+		rngs:        make([]*rand.Rand, n),
+		areas:       make([]int, n),
+		active:      make([]bool, n),
+		choices:     make([]int, n),
+		lastNet:     make([]int, n),
+		coordNets:   make([]int, n),
+		counts:      make([]int, len(cfg.Topology.Networks)),
+		bitrates:    make([]float64, n),
+	}
+	for d := range r.lastNet {
+		r.lastNet[d] = -1
+		r.choices[d] = -1
+		r.coordNets[d] = -1
+		r.areas[d] = -1
+		r.rngs[d] = rngutil.NewChild(cfg.Seed, int64(d))
+	}
+	r.res = &Result{
+		Slots:       cfg.Slots,
+		SlotSeconds: cfg.SlotSeconds,
+		Devices:     make([]DeviceResult, n),
+	}
+	for d, spec := range cfg.Devices {
+		leave := spec.Leave
+		if leave == 0 {
+			leave = cfg.Slots
+		}
+		r.res.Devices[d] = DeviceResult{
+			Algorithm:         spec.Algorithm,
+			Join:              spec.Join,
+			Leave:             leave,
+			PresentThroughout: spec.Join == 0 && leave >= cfg.Slots,
+			StableFrom:        -1,
+		}
+		if cfg.Collect.Selections {
+			r.res.Devices[d].Selections = filledInts(cfg.Slots, -1)
+		}
+		if cfg.Collect.Bitrates {
+			r.res.Devices[d].BitrateMbps = filledFloats(cfg.Slots, -1)
+		}
+	}
+	if cfg.Collect.Distance {
+		r.res.Distance = make([]float64, cfg.Slots)
+		r.res.GroupDistance = make([][]float64, len(cfg.DeviceGroups))
+		for g := range r.res.GroupDistance {
+			r.res.GroupDistance[g] = make([]float64, cfg.Slots)
+		}
+	}
+	if cfg.Collect.Probabilities {
+		r.argmaxRec = make([][]int, n)
+		r.probRec = make([][]float64, n)
+		for d := range r.argmaxRec {
+			r.argmaxRec[d] = make([]int, 0, cfg.Slots)
+			r.probRec[d] = make([]float64, 0, cfg.Slots)
+		}
+	}
+	return r
+}
+
+func (r *runner) run() (*Result, error) {
+	for t := 0; t < r.cfg.Slots; t++ {
+		if err := r.beginSlot(t); err != nil {
+			return nil, err
+		}
+		r.selectAll(t)
+		r.computeShares()
+		r.settleSlot(t)
+	}
+	r.finish()
+	return r.res, nil
+}
+
+// beginSlot updates device presence and availability, (re)creates policies
+// for devices that just joined, and refreshes the NE cache on epoch changes.
+func (r *runner) beginSlot(t int) error {
+	changed := false
+	for d, spec := range r.cfg.Devices {
+		nowActive := r.deviceActive(d, t)
+		area := r.areaAt(d, t)
+		if nowActive != r.active[d] {
+			changed = true
+		}
+		if nowActive && area != r.areas[d] {
+			changed = true
+		}
+		switch {
+		case nowActive && !r.active[d]:
+			avail := r.cfg.Topology.Areas[area]
+			if !r.centralized {
+				var (
+					pol core.Policy
+					err error
+				)
+				if r.cfg.PolicyFactory != nil {
+					pol, err = r.cfg.PolicyFactory(d, avail, r.rngs[d])
+				} else {
+					pol, err = core.New(spec.Algorithm, avail, r.cfg.Core, r.rngs[d])
+				}
+				if err != nil {
+					return fmt.Errorf("sim: device %d: %w", d, err)
+				}
+				r.policies[d] = pol
+			}
+			r.lastNet[d] = -1
+		case nowActive && area != r.areas[d] && r.areas[d] >= 0:
+			if !r.centralized {
+				r.policies[d].SetAvailable(r.cfg.Topology.Areas[area])
+			}
+		case !nowActive && r.active[d]:
+			// Capture policy-side counters before releasing the policy.
+			if p, ok := r.policies[d].(core.ResetReporter); ok {
+				r.res.Devices[d].Resets = p.Resets()
+			}
+			r.policies[d] = nil
+			r.lastNet[d] = -1
+		}
+		r.active[d] = nowActive
+		if nowActive {
+			r.areas[d] = area
+		}
+	}
+	if changed || r.prepared == nil {
+		return r.refreshEpoch()
+	}
+	return nil
+}
+
+// refreshEpoch rebuilds the cached NE for the current active set and, for
+// the Centralized baseline, recomputes the coordinator's assignment with
+// minimal churn (best-response dynamics seeded from the previous one).
+func (r *runner) refreshEpoch() error {
+	r.activeList = r.activeList[:0]
+	for d := range r.cfg.Devices {
+		if r.active[d] {
+			r.activeList = append(r.activeList, d)
+		}
+	}
+	if len(r.activeList) == 0 {
+		r.prepared = nil
+		return nil
+	}
+	r.instance = game.Instance{
+		Bandwidths: r.cfg.Topology.Bandwidths(),
+		Devices:    make([]game.Device, len(r.activeList)),
+	}
+	for i, d := range r.activeList {
+		r.instance.Devices[i] = game.Device{Available: r.cfg.Topology.Areas[r.areas[d]]}
+	}
+	prep, err := game.Prepare(r.instance)
+	if err != nil {
+		return err
+	}
+	r.prepared = prep
+
+	if r.centralized {
+		seed := make([]int, len(r.activeList))
+		for i, d := range r.activeList {
+			seed[i] = r.coordNets[d]
+		}
+		assign := r.instance.NashAssignmentFrom(seed)
+		for i, d := range r.activeList {
+			r.coordNets[d] = assign[i]
+		}
+	}
+	return nil
+}
+
+// selectAll asks every active device for its network choice this slot.
+func (r *runner) selectAll(t int) {
+	for d := range r.cfg.Devices {
+		if !r.active[d] {
+			r.choices[d] = -1
+			continue
+		}
+		if r.centralized {
+			r.choices[d] = r.coordNets[d]
+		} else {
+			r.choices[d] = r.policies[d].Select()
+		}
+		if r.cfg.Collect.Selections {
+			r.res.Devices[d].Selections[t] = r.choices[d]
+		}
+	}
+	if r.cfg.Collect.Probabilities {
+		r.recordProbabilities()
+	}
+}
+
+// computeShares derives each active device's observed bit rate: the equal
+// share of its network's bandwidth, optionally perturbed by measurement
+// noise.
+func (r *runner) computeShares() {
+	for i := range r.counts {
+		r.counts[i] = 0
+	}
+	for d := range r.cfg.Devices {
+		if r.choices[d] >= 0 {
+			r.counts[r.choices[d]]++
+		}
+	}
+	for d := range r.cfg.Devices {
+		if r.choices[d] < 0 {
+			r.bitrates[d] = 0
+			continue
+		}
+		share := game.Share(r.cfg.Topology.Networks[r.choices[d]].Bandwidth, r.counts[r.choices[d]])
+		if r.cfg.NoiseStdDev > 0 {
+			factor := 1 + r.cfg.NoiseStdDev*r.rngs[d].NormFloat64()
+			share *= math.Min(math.Max(factor, 0), 2)
+		}
+		r.bitrates[d] = share
+	}
+}
+
+// settleSlot applies switching delays, accumulates goodput, feeds policies
+// their feedback, and records the slot's metrics.
+func (r *runner) settleSlot(t int) {
+	for d := range r.cfg.Devices {
+		if r.choices[d] < 0 {
+			continue
+		}
+		dev := &r.res.Devices[d]
+		var delay float64
+		if r.lastNet[d] >= 0 && r.choices[d] != r.lastNet[d] {
+			dev.Switches++
+			delay = math.Min(r.sampleDelay(d, r.choices[d]), r.cfg.SlotSeconds)
+			dev.DelaySeconds += delay
+		}
+		dev.DownloadMb += r.bitrates[d] * (r.cfg.SlotSeconds - delay)
+		if r.cfg.Collect.Bitrates {
+			dev.BitrateMbps[t] = r.bitrates[d]
+		}
+
+		if !r.centralized {
+			gain := r.gainOf(r.bitrates[d], r.choices[d])
+			pol := r.policies[d]
+			pol.Observe(gain)
+			if full, ok := pol.(core.FullFeedbackPolicy); ok {
+				full.ObserveAll(r.counterfactualGains(d))
+			}
+		}
+		r.lastNet[d] = r.choices[d]
+	}
+
+	// Unutilized resources: bandwidth-time of idle networks.
+	for i, c := range r.counts {
+		bwTime := r.cfg.Topology.Networks[i].Bandwidth * r.cfg.SlotSeconds
+		r.res.TotalMb += bwTime
+		if c == 0 {
+			r.res.UnusedMb += bwTime
+		}
+	}
+
+	r.recordDistance(t)
+}
+
+// counterfactualGains computes, for a FullFeedbackPolicy device, the gain it
+// would have observed on each of its available networks this slot: its own
+// share where it is, and bandwidth/(count+1) elsewhere.
+func (r *runner) counterfactualGains(d int) []float64 {
+	avail := r.policies[d].Available()
+	gains := make([]float64, len(avail))
+	for i, net := range avail {
+		var share float64
+		if net == r.choices[d] {
+			share = r.bitrates[d]
+		} else {
+			share = game.Share(r.cfg.Topology.Networks[net].Bandwidth, r.counts[net]+1)
+		}
+		gains[i] = r.gainOf(share, net)
+	}
+	return gains
+}
+
+// gainOf maps an observed bit rate into the [0,1] gain the policy sees,
+// folding in the configured multi-criteria utility when present.
+func (r *runner) gainOf(bitrate float64, net int) float64 {
+	gain := clampUnit(bitrate / r.cfg.GainScale)
+	if r.cfg.Criteria == nil {
+		return gain
+	}
+	var costs criteria.Costs
+	if r.cfg.NetworkCosts != nil {
+		costs = r.cfg.NetworkCosts[net]
+	} else {
+		costs = criteria.DefaultCosts(r.cfg.Topology.Networks[net].Type)
+	}
+	return r.cfg.Criteria.Utility(gain, costs)
+}
+
+func (r *runner) sampleDelay(d, net int) float64 {
+	if r.cfg.Topology.Networks[net].Type == netmodel.Cellular {
+		return math.Max(r.cfg.CellularDelay.Sample(r.rngs[d]), 0)
+	}
+	return math.Max(r.cfg.WiFiDelay.Sample(r.rngs[d]), 0)
+}
+
+// recordDistance evaluates the Definition 3 metric for the slot, overall and
+// per configured device group, and the at-NE / at-ε accounting.
+func (r *runner) recordDistance(t int) {
+	if r.prepared == nil || len(r.activeList) == 0 {
+		return
+	}
+	gains := make([]float64, len(r.activeList))
+	indexOf := make(map[int]int, len(r.activeList))
+	assign := make([]int, len(r.activeList))
+	for i, d := range r.activeList {
+		gains[i] = r.bitrates[d]
+		indexOf[d] = i
+		assign[i] = r.choices[d]
+	}
+
+	r.distSlots++
+	if r.instance.IsNashAssignment(assign) {
+		r.atNESlots++
+	}
+
+	if r.cfg.Collect.Distance {
+		r.res.Distance[t] = r.prepared.Distance(gains, nil)
+		for g, members := range r.cfg.DeviceGroups {
+			var idx []int
+			for _, d := range members {
+				if i, ok := indexOf[d]; ok {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) > 0 {
+				r.res.GroupDistance[g][t] = r.prepared.Distance(gains, idx)
+			}
+		}
+		if r.res.Distance[t] <= r.cfg.EpsilonPercent {
+			r.atEpsSlots++
+		}
+	} else {
+		// ε accounting still needs the overall distance.
+		if r.prepared.Distance(gains, nil) <= r.cfg.EpsilonPercent {
+			r.atEpsSlots++
+		}
+	}
+}
+
+// recordProbabilities snapshots each active device's selection-distribution
+// peak for stable-state detection. Devices without a probability
+// distribution (Greedy, Fixed Random, Centralized) record nothing.
+func (r *runner) recordProbabilities() {
+	for d := range r.cfg.Devices {
+		if !r.active[d] || r.policies[d] == nil {
+			continue
+		}
+		rep, ok := r.policies[d].(core.ProbabilityReporter)
+		if !ok {
+			continue
+		}
+		probs := rep.Probabilities()
+		avail := r.policies[d].Available()
+		best, bestP := -1, -1.0
+		for i, p := range probs {
+			if p > bestP {
+				best, bestP = avail[i], p
+			}
+		}
+		r.argmaxRec[d] = append(r.argmaxRec[d], best)
+		r.probRec[d] = append(r.probRec[d], bestP)
+	}
+}
+
+// finish computes run-level aggregates: fraction of time at (ε-)equilibrium,
+// per-device stability, and the Definition 2 run verdict.
+func (r *runner) finish() {
+	if r.distSlots > 0 {
+		r.res.FracAtNE = float64(r.atNESlots) / float64(r.distSlots)
+		r.res.FracAtEps = float64(r.atEpsSlots) / float64(r.distSlots)
+	}
+	for d := range r.cfg.Devices {
+		if p, ok := r.policies[d].(core.ResetReporter); ok && p != nil {
+			r.res.Devices[d].Resets = p.Resets()
+		}
+	}
+	if !r.cfg.Collect.Probabilities {
+		return
+	}
+	// Definition 2 needs every device observable for the whole horizon with
+	// a probability distribution.
+	allEligible := true
+	for d := range r.cfg.Devices {
+		if !r.res.Devices[d].PresentThroughout || len(r.argmaxRec[d]) != r.cfg.Slots {
+			allEligible = false
+		}
+		r.res.Devices[d].StableFrom = game.StableFrom(r.argmaxRec[d], r.probRec[d])
+	}
+	if allEligible {
+		r.res.Stability = game.DetectStability(
+			r.cfg.Topology.Bandwidths(), r.argmaxRec, r.probRec)
+		r.res.StabilityValid = true
+	}
+}
+
+func (r *runner) deviceActive(d, t int) bool {
+	spec := r.cfg.Devices[d]
+	leave := spec.Leave
+	if leave == 0 {
+		leave = r.cfg.Slots
+	}
+	return t >= spec.Join && t < leave
+}
+
+func (r *runner) areaAt(d, t int) int {
+	area := 0
+	for _, stay := range r.cfg.Devices[d].Trajectory {
+		if t >= stay.FromSlot {
+			area = stay.Area
+		} else {
+			break
+		}
+	}
+	return area
+}
+
+func clampUnit(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func filledInts(n, v int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func filledFloats(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+// Package sim is the slotted-time simulation substrate for the wireless
+// network selection game (the role SimPy plays in the paper). Time advances
+// in slots of SlotSeconds; each slot every active device selects one network
+// via its policy, a network's bandwidth is shared equally among the devices
+// on it, and devices that switched networks pay a sampled delay that reduces
+// their goodput for that slot (Section II-B item 5).
+//
+// The simulator supports the dynamics of Section VI-A: devices joining and
+// leaving mid-run, devices moving between service areas (changing their
+// availability sets), mixed policy populations, and the Centralized
+// coordinator baseline.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/criteria"
+	"smartexp3/internal/dist"
+	"smartexp3/internal/game"
+	"smartexp3/internal/netmodel"
+)
+
+// DefaultSlotSeconds is the paper's 15-second slot duration.
+const DefaultSlotSeconds = 15.0
+
+// DefaultEpsilonPercent is the ε used for ε-equilibrium accounting in the
+// paper's figures (shaded region, ε = 7.5).
+const DefaultEpsilonPercent = 7.5
+
+// AreaStay is one leg of a device trajectory: the device is in Area from
+// slot FromSlot (inclusive) until the next stay begins.
+type AreaStay struct {
+	FromSlot int
+	Area     int
+}
+
+// DeviceSpec describes one device.
+type DeviceSpec struct {
+	// Algorithm is the device's selection policy.
+	Algorithm core.Algorithm
+	// Join is the first slot in which the device is active.
+	Join int
+	// Leave is the first slot in which the device is no longer active;
+	// zero means the device stays until the end of the run.
+	Leave int
+	// Trajectory lists area changes in FromSlot order. Empty means the
+	// device stays in area 0.
+	Trajectory []AreaStay
+}
+
+// CollectOptions selects which per-slot observables a run records.
+type CollectOptions struct {
+	// Distance records the per-slot distance to Nash equilibrium
+	// (Definition 3), overall and per device group.
+	Distance bool
+	// Probabilities records each device's per-slot selection distribution
+	// peak, enabling stable-state detection (Definition 2).
+	Probabilities bool
+	// Selections records each device's chosen network per slot.
+	Selections bool
+	// Bitrates records each device's observed bit rate (Mbps) per slot
+	// (-1 while inactive).
+	Bitrates bool
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Topology netmodel.Topology
+	Devices  []DeviceSpec
+	// Slots is the horizon (the paper uses 1200 slots = 5 simulated hours).
+	Slots int
+	// SlotSeconds defaults to DefaultSlotSeconds.
+	SlotSeconds float64
+	// GainScale maps observed bit rates (Mbps) into the [0,1] gain range;
+	// it defaults to the topology's maximum single-network bandwidth.
+	GainScale float64
+	// WiFiDelay and CellularDelay sample the switching delay in seconds;
+	// they default to the models of internal/dist.
+	WiFiDelay     dist.Sampler
+	CellularDelay dist.Sampler
+	// NoiseStdDev adds per-device multiplicative noise to observed bit
+	// rates (testbed-style measurement noise); 0 disables it.
+	NoiseStdDev float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// Core configures the EXP3-family policies; the zero value means
+	// core.DefaultConfig.
+	Core core.Config
+	// DeviceGroups partitions devices for per-group distance reporting
+	// (Figure 9). Nil means a single group of all devices.
+	DeviceGroups [][]int
+	// EpsilonPercent is the ε-equilibrium threshold for time-at-equilibrium
+	// accounting; it defaults to DefaultEpsilonPercent.
+	EpsilonPercent float64
+	Collect        CollectOptions
+	// PolicyFactory, when non-nil, overrides DeviceSpec.Algorithm when
+	// constructing policies. Ablation studies use it to run Smart EXP3 with
+	// custom feature sets. It must return a fresh policy per call.
+	PolicyFactory func(device int, available []int, rng *rand.Rand) (core.Policy, error)
+	// Criteria, when non-nil, folds energy and monetary cost into the gain
+	// each policy observes (the paper's future-work criteria); download and
+	// distance metrics remain throughput-based.
+	Criteria *criteria.Profile
+	// NetworkCosts optionally overrides the per-network cost
+	// characteristics (aligned with Topology.Networks); nil means
+	// criteria.DefaultCosts by technology. Ignored without Criteria.
+	NetworkCosts []criteria.Costs
+}
+
+// UniformDevices builds n device specs that all run the same algorithm, stay
+// for the whole run, and remain in area 0.
+func UniformDevices(n int, alg core.Algorithm) []DeviceSpec {
+	devs := make([]DeviceSpec, n)
+	for d := range devs {
+		devs[d] = DeviceSpec{Algorithm: alg}
+	}
+	return devs
+}
+
+// DeviceResult aggregates one device's run.
+type DeviceResult struct {
+	Algorithm core.Algorithm
+	Join      int
+	Leave     int // exclusive
+	// PresentThroughout is true when the device was active for every slot.
+	PresentThroughout bool
+	// Switches counts network changes between consecutive active slots.
+	Switches int
+	// Resets counts policy resets (Smart EXP3 only; 0 otherwise).
+	Resets int
+	// DownloadMb is the cumulative goodput in megabits:
+	// Σ bitrate·(slotSeconds − delay).
+	DownloadMb float64
+	// DelaySeconds is the total switching delay incurred.
+	DelaySeconds float64
+	// StableFrom is the slot from which the device held one network with
+	// probability ≥ 0.75 to the end (-1 when never, or not applicable).
+	StableFrom int
+	// Selections and BitrateMbps are populated per CollectOptions
+	// (-1 entries denote inactive slots).
+	Selections  []int
+	BitrateMbps []float64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Slots       int
+	SlotSeconds float64
+	// Devices holds one entry per device spec, in order.
+	Devices []DeviceResult
+	// Distance is the per-slot distance to NE over all active devices
+	// (when Collect.Distance).
+	Distance []float64
+	// GroupDistance holds one per-slot series per configured device group.
+	GroupDistance [][]float64
+	// FracAtNE is the fraction of slots in which the allocation was a pure
+	// NE; FracAtEps the fraction with distance ≤ EpsilonPercent.
+	FracAtNE  float64
+	FracAtEps float64
+	// UnusedMb is the bandwidth-time product of idle networks (megabits),
+	// the "unutilized resources" metric of Section VI-A.
+	UnusedMb float64
+	// TotalMb is the bandwidth-time product of all networks (megabits).
+	TotalMb float64
+	// Stability is Definition 2 applied to the run; StabilityValid reports
+	// whether it was computable (all devices present throughout and
+	// reporting selection probabilities).
+	Stability      game.RunStability
+	StabilityValid bool
+}
+
+// DownloadsMb returns the per-device cumulative downloads in megabits.
+func (r *Result) DownloadsMb() []float64 {
+	out := make([]float64, len(r.Devices))
+	for d := range r.Devices {
+		out[d] = r.Devices[d].DownloadMb
+	}
+	return out
+}
+
+// MbToGB converts megabits to (decimal) gigabytes, the unit of Table V.
+func MbToGB(mb float64) float64 { return mb / 8 / 1000 }
+
+// MbToMB converts megabits to (decimal) megabytes, the unit of Table VI.
+func MbToMB(mb float64) float64 { return mb / 8 }
+
+// Validate reports whether the configuration is runnable.
+func (c *Config) Validate() error {
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("sim: slots must be positive, got %d", c.Slots)
+	}
+	if len(c.Devices) == 0 {
+		return errors.New("sim: at least one device is required")
+	}
+	centralized := 0
+	for d, spec := range c.Devices {
+		if spec.Join < 0 || spec.Join >= c.Slots {
+			return fmt.Errorf("sim: device %d joins at slot %d outside [0,%d)", d, spec.Join, c.Slots)
+		}
+		if spec.Leave != 0 && spec.Leave <= spec.Join {
+			return fmt.Errorf("sim: device %d leaves at %d before joining at %d", d, spec.Leave, spec.Join)
+		}
+		for _, stay := range spec.Trajectory {
+			if stay.Area < 0 || stay.Area >= len(c.Topology.Areas) {
+				return fmt.Errorf("sim: device %d visits unknown area %d", d, stay.Area)
+			}
+		}
+		if spec.Algorithm == core.AlgCentralized {
+			centralized++
+		}
+	}
+	if centralized > 0 && centralized != len(c.Devices) {
+		return errors.New("sim: centralized allocation cannot be mixed with per-device policies")
+	}
+	for g, members := range c.DeviceGroups {
+		for _, d := range members {
+			if d < 0 || d >= len(c.Devices) {
+				return fmt.Errorf("sim: group %d references device %d out of %d", g, d, len(c.Devices))
+			}
+		}
+	}
+	if c.Criteria != nil {
+		if err := c.Criteria.Validate(); err != nil {
+			return err
+		}
+		if c.NetworkCosts != nil && len(c.NetworkCosts) != len(c.Topology.Networks) {
+			return fmt.Errorf("sim: %d network costs for %d networks",
+				len(c.NetworkCosts), len(c.Topology.Networks))
+		}
+		for _, costs := range c.NetworkCosts {
+			if err := costs.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.SlotSeconds <= 0 {
+		out.SlotSeconds = DefaultSlotSeconds
+	}
+	if out.GainScale <= 0 {
+		out.GainScale = out.Topology.MaxBandwidth()
+	}
+	if out.WiFiDelay == nil {
+		out.WiFiDelay = dist.DefaultWiFiDelay()
+	}
+	if out.CellularDelay == nil {
+		out.CellularDelay = dist.DefaultCellularDelay()
+	}
+	if out.Core.Gamma == nil {
+		out.Core = core.DefaultConfig()
+	}
+	if out.EpsilonPercent <= 0 {
+		out.EpsilonPercent = DefaultEpsilonPercent
+	}
+	if out.DeviceGroups == nil {
+		all := make([]int, len(out.Devices))
+		for d := range all {
+			all[d] = d
+		}
+		out.DeviceGroups = [][]int{all}
+	}
+	return out
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRunner(cfg.withDefaults())
+	return r.run()
+}

@@ -1,0 +1,247 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// tokenBucket is a shared rate limiter: the access point's scheduler draws
+// from it before every chunk it sends, so the AP's aggregate capacity is
+// fixed regardless of how many clients are connected.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // bucket capacity in bytes
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64) *tokenBucket {
+	return &tokenBucket{
+		rate:   rate,
+		burst:  rate / 25, // at most 40 ms of burst, well under one slot
+		tokens: 0,
+		last:   time.Now(),
+	}
+}
+
+// take blocks until n bytes of budget are available or stop is closed; it
+// reports whether the budget was obtained.
+func (b *tokenBucket) take(n float64, stop <-chan struct{}) bool {
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		if b.tokens >= n {
+			b.tokens -= n
+			b.mu.Unlock()
+			return true
+		}
+		wait := time.Duration((n - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if wait < 500*time.Microsecond {
+			wait = 500 * time.Microsecond
+		}
+		select {
+		case <-stop:
+			return false
+		case <-time.After(wait):
+		}
+	}
+}
+
+// apConn is one client association: its connection plus the link-quality
+// factor that scales how many bytes each scheduling turn delivers. The
+// factor drifts slowly over the experiment (interference, multipath, people
+// walking by), which is exactly the real-world behavior Section VII-A
+// observes: "the bit rates observed by some of the devices go down for some
+// reason and [Greedy] fails to adapt".
+type apConn struct {
+	conn      net.Conn
+	factor    float64
+	lastDrift time.Time
+}
+
+// drift advances the link-quality factor with a slow mean-reverting walk
+// whose time constant spans many slots.
+func (c *apConn) drift(rng *rand.Rand, now time.Time) {
+	dt := now.Sub(c.lastDrift).Seconds()
+	if dt < 0.02 {
+		return
+	}
+	c.lastDrift = now
+	const (
+		revert = 0.02 // per second: degradations persist for many slots
+		sigma  = 0.10 // per √second
+	)
+	c.factor += revert*(1-c.factor)*dt + sigma*math.Sqrt(dt)*rng.NormFloat64()
+	if c.factor < 0.25 {
+		c.factor = 0.25
+	}
+	if c.factor > 1.75 {
+		c.factor = 1.75
+	}
+}
+
+// accessPoint is one rate-limited "wireless network": a TCP listener whose
+// accepted connections are served by a single round-robin scheduler —
+// per-station airtime fairness, as real APs approximate. The shared token
+// bucket caps aggregate throughput (the paper's APs with total bandwidths
+// 4, 7 and 22 Mbps); per-connection link-quality factors model the
+// measurement noise real devices observe.
+type accessPoint struct {
+	name     string
+	ln       net.Listener
+	bucket   *tokenBucket
+	noise    float64
+	rng      *rand.Rand // accept-loop use only (initial factors)
+	driftRng *rand.Rand // scheduler use only (factor drift)
+
+	mu    sync.Mutex
+	conns []*apConn
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startAccessPoint listens on an ephemeral localhost port and serves data at
+// the given rate (bytes per second).
+func startAccessPoint(name string, rate, noise float64, rng *rand.Rand) (*accessPoint, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ap := &accessPoint{
+		name:     name,
+		ln:       ln,
+		bucket:   newTokenBucket(rate),
+		noise:    noise,
+		rng:      rng,
+		driftRng: rand.New(rand.NewSource(rng.Int63())),
+		stop:     make(chan struct{}),
+	}
+	ap.wg.Add(2)
+	go ap.acceptLoop()
+	go ap.schedule()
+	return ap, nil
+}
+
+func (ap *accessPoint) addr() string { return ap.ln.Addr().String() }
+
+func (ap *accessPoint) acceptLoop() {
+	defer ap.wg.Done()
+	for {
+		conn, err := ap.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &apConn{conn: conn, factor: 1, lastDrift: time.Now()}
+		if ap.noise > 0 {
+			c.factor = 1 + ap.noise*ap.rng.NormFloat64()
+			if c.factor < 0.3 {
+				c.factor = 0.3
+			}
+			if c.factor > 1.7 {
+				c.factor = 1.7
+			}
+		}
+		ap.mu.Lock()
+		ap.conns = append(ap.conns, c)
+		ap.mu.Unlock()
+	}
+}
+
+// schedule is the airtime scheduler: it hands out budgeted chunks to the
+// associated clients in round-robin order, so every client of an AP gets an
+// equal share of its capacity (scaled by link quality), mirroring
+// per-station fairness of real access points.
+func (ap *accessPoint) schedule() {
+	defer ap.wg.Done()
+	const chunk = 1024
+	payload := make([]byte, 2*chunk)
+	turn := 0
+	for {
+		select {
+		case <-ap.stop:
+			ap.closeConns()
+			return
+		default:
+		}
+
+		ap.mu.Lock()
+		n := len(ap.conns)
+		var c *apConn
+		if n > 0 {
+			c = ap.conns[turn%n]
+		}
+		ap.mu.Unlock()
+		if c == nil {
+			select {
+			case <-ap.stop:
+				ap.closeConns()
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		turn++
+
+		if !ap.bucket.take(chunk, ap.stop) {
+			ap.closeConns()
+			return
+		}
+		// The scheduler is apConn's single writer after registration, so
+		// drifting the factor here is race-free.
+		if ap.noise > 0 {
+			c.drift(ap.driftRng, time.Now())
+		}
+		// A poor link (factor < 1) delivers fewer bytes per airtime unit.
+		size := int(chunk * c.factor)
+		if size < 1 {
+			size = 1
+		}
+		if err := c.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond)); err != nil {
+			ap.drop(c)
+			continue
+		}
+		if _, err := c.conn.Write(payload[:size]); err != nil {
+			ap.drop(c)
+		}
+	}
+}
+
+// drop removes a dead connection from the association list.
+func (ap *accessPoint) drop(dead *apConn) {
+	dead.conn.Close()
+	ap.mu.Lock()
+	for i, c := range ap.conns {
+		if c == dead {
+			ap.conns = append(ap.conns[:i], ap.conns[i+1:]...)
+			break
+		}
+	}
+	ap.mu.Unlock()
+}
+
+func (ap *accessPoint) closeConns() {
+	ap.mu.Lock()
+	for _, c := range ap.conns {
+		c.conn.Close()
+	}
+	ap.conns = nil
+	ap.mu.Unlock()
+}
+
+// close shuts the AP down and waits for its goroutines to exit.
+func (ap *accessPoint) close() {
+	close(ap.stop)
+	ap.ln.Close()
+	ap.wg.Wait()
+}

@@ -1,0 +1,103 @@
+package testbed
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// client is one device's data path: a TCP connection to the current access
+// point and a reader goroutine that counts received bytes. Switching access
+// points tears the connection down, waits out the (scaled) switching delay,
+// and dials the new AP — the same close-and-reconnect procedure the paper's
+// testbed used.
+type client struct {
+	bytes atomic.Int64 // received since last harvest
+
+	mu      sync.Mutex
+	conn    net.Conn
+	gen     int // invalidates readers of stale connections
+	closed  bool
+	pending sync.WaitGroup // in-flight switch goroutines
+	readers sync.WaitGroup
+}
+
+// harvest returns and resets the byte counter.
+func (c *client) harvest() int64 { return c.bytes.Swap(0) }
+
+// switchTo asynchronously moves the client to addr after the given delay.
+// Any current connection closes immediately (the device has left its old
+// network); data flows again once the new connection is up.
+func (c *client) switchTo(addr string, delay time.Duration) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.gen++
+	gen := c.gen
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.pending.Add(1)
+	c.mu.Unlock()
+
+	go func() {
+		defer c.pending.Done()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return // AP gone or experiment over; device stays offline
+		}
+		c.mu.Lock()
+		if c.closed || c.gen != gen {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conn = conn
+		c.readers.Add(1)
+		c.mu.Unlock()
+		go c.readLoop(conn, gen)
+	}()
+}
+
+func (c *client) readLoop(conn net.Conn, gen int) {
+	defer c.readers.Done()
+	buf := make([]byte, 16384)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			return
+		}
+		n, err := conn.Read(buf)
+		if n > 0 {
+			c.mu.Lock()
+			current := c.gen == gen && !c.closed
+			c.mu.Unlock()
+			if current {
+				c.bytes.Add(int64(n))
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// close disconnects the client and waits for its goroutines to finish.
+func (c *client) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.gen++
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	c.pending.Wait()
+	c.readers.Wait()
+}

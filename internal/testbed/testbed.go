@@ -1,0 +1,327 @@
+// Package testbed reproduces the controlled experiments of Section VII-A
+// with real TCP sockets on localhost. The paper's setup — three WiFi access
+// points with total bandwidths 4, 7 and 22 Mbps, servers continuously
+// sending data over TCP, and 14 client devices that switch networks by
+// closing and re-establishing connections — maps onto:
+//
+//   - accessPoint: a TCP listener whose connections share a token-bucket
+//     rate limit (the AP's bandwidth), with per-connection link-quality
+//     noise;
+//   - client: a device-side connection whose reader goroutine counts
+//     received bytes, and whose network switch is a close + delayed re-dial;
+//   - Run: a slot-synchronized loop that drives each device's policy and
+//     harvests per-slot byte counts.
+//
+// Real time is scaled: a slot lasts Config.SlotDuration of wall-clock time
+// but represents VirtualSlotSeconds (15 s) of paper time, and switching
+// delays are scaled accordingly. Bandwidths are virtual Mbps mapped to real
+// bytes/s via BytesPerVirtualMbps.
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/dist"
+	"smartexp3/internal/game"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/rngutil"
+)
+
+// DeviceSpec describes one testbed device.
+type DeviceSpec struct {
+	Algorithm core.Algorithm
+	// Leave is the first slot in which the device is gone (0 = stays).
+	Leave int
+}
+
+// Config parameterizes one controlled experiment.
+type Config struct {
+	// APs lists the access points (virtual Mbps bandwidths). The paper uses
+	// 4, 7 and 22.
+	APs []netmodel.Network
+	// Devices lists the client devices (the paper uses 14).
+	Devices []DeviceSpec
+	// Slots is the horizon (the paper uses 480 slots = 2 hours).
+	Slots int
+	// SlotDuration is the real time each slot lasts. Defaults to 150 ms.
+	SlotDuration time.Duration
+	// VirtualSlotSeconds is the paper time a slot represents (default 15 s);
+	// switching delays sampled in paper seconds are scaled by
+	// SlotDuration/VirtualSlotSeconds.
+	VirtualSlotSeconds float64
+	// BytesPerVirtualMbps converts virtual Mbps into real bytes/s
+	// (default 60000, i.e. the 33-Mbps aggregate becomes ≈2 MB/s), chosen
+	// so that even a 4-Mbps AP delivers several chunks per 50 ms slot.
+	BytesPerVirtualMbps float64
+	// NoiseStdDev is the per-connection link-quality spread (default 0.1).
+	NoiseStdDev float64
+	Seed        int64
+	// Core configures EXP3-family policies; zero value = core.DefaultConfig.
+	Core core.Config
+	// WiFiDelay samples switching delay in paper seconds; nil = default.
+	WiFiDelay dist.Sampler
+}
+
+// DeviceResult aggregates one device's experiment.
+type DeviceResult struct {
+	Algorithm core.Algorithm
+	Switches  int
+	Resets    int
+	// DownloadBytes is the real bytes received.
+	DownloadBytes int64
+	// DownloadPct is the download as a percentage of the estimated total
+	// possible over the device's lifetime (Table VII's unit).
+	DownloadPct float64
+	// BitrateMbps is the observed virtual bit rate per slot (-1 once left).
+	BitrateMbps []float64
+}
+
+// Result is the outcome of one controlled experiment.
+type Result struct {
+	Devices []DeviceResult
+	// Distance is the per-slot Definition 4 distance from the average bit
+	// rate available, over devices still present.
+	Distance []float64
+	// OptimalDistance is the Definition 4 floor at the Nash allocation.
+	OptimalDistance float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.SlotDuration <= 0 {
+		out.SlotDuration = 150 * time.Millisecond
+	}
+	if out.VirtualSlotSeconds <= 0 {
+		out.VirtualSlotSeconds = 15
+	}
+	if out.BytesPerVirtualMbps <= 0 {
+		out.BytesPerVirtualMbps = 60000
+	}
+	if out.NoiseStdDev == 0 {
+		out.NoiseStdDev = 0.1
+	}
+	if out.Core.Gamma == nil {
+		out.Core = core.DefaultConfig()
+	}
+	if out.WiFiDelay == nil {
+		out.WiFiDelay = dist.DefaultWiFiDelay()
+	}
+	return out
+}
+
+// Validate reports whether the configuration is runnable.
+func (c *Config) Validate() error {
+	if len(c.APs) == 0 {
+		return errors.New("testbed: at least one access point is required")
+	}
+	for i, ap := range c.APs {
+		if ap.Bandwidth <= 0 {
+			return fmt.Errorf("testbed: AP %d must have positive bandwidth", i)
+		}
+	}
+	if len(c.Devices) == 0 {
+		return errors.New("testbed: at least one device is required")
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("testbed: slots must be positive, got %d", c.Slots)
+	}
+	for d, spec := range c.Devices {
+		if spec.Algorithm == core.AlgCentralized {
+			return errors.New("testbed: centralized allocation is not available in the testbed")
+		}
+		if spec.Leave < 0 || spec.Leave > c.Slots {
+			return fmt.Errorf("testbed: device %d has leave slot %d outside [0,%d]", d, spec.Leave, c.Slots)
+		}
+	}
+	return nil
+}
+
+// Run executes one controlled experiment over real TCP connections.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	e, err := newExperiment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+	return e.run()
+}
+
+type experiment struct {
+	cfg      Config
+	aps      []*accessPoint
+	clients  []*client
+	policies []core.Policy
+	rngs     []*rand.Rand
+	lastNet  []int
+	scale    float64 // virtual Mbps gain scale
+	res      *Result
+}
+
+func newExperiment(cfg Config) (*experiment, error) {
+	e := &experiment{
+		cfg:      cfg,
+		clients:  make([]*client, len(cfg.Devices)),
+		policies: make([]core.Policy, len(cfg.Devices)),
+		rngs:     make([]*rand.Rand, len(cfg.Devices)),
+		lastNet:  make([]int, len(cfg.Devices)),
+		res: &Result{
+			Devices:  make([]DeviceResult, len(cfg.Devices)),
+			Distance: make([]float64, cfg.Slots),
+		},
+	}
+	bandwidths := make([]float64, len(cfg.APs))
+	available := make([]int, len(cfg.APs))
+	for i, spec := range cfg.APs {
+		bandwidths[i] = spec.Bandwidth
+		available[i] = i
+		if spec.Bandwidth > e.scale {
+			e.scale = spec.Bandwidth
+		}
+		ap, err := startAccessPoint(
+			spec.Name,
+			spec.Bandwidth*cfg.BytesPerVirtualMbps,
+			cfg.NoiseStdDev,
+			rngutil.NewChild(cfg.Seed, -1, int64(i)),
+		)
+		if err != nil {
+			e.close()
+			return nil, fmt.Errorf("testbed: start AP %d: %w", i, err)
+		}
+		e.aps = append(e.aps, ap)
+	}
+	e.res.OptimalDistance = game.OptimalDistanceFromAverage(bandwidths, len(cfg.Devices))
+
+	for d, spec := range cfg.Devices {
+		e.rngs[d] = rngutil.NewChild(cfg.Seed, int64(d))
+		pol, err := core.New(spec.Algorithm, available, cfg.Core, e.rngs[d])
+		if err != nil {
+			e.close()
+			return nil, fmt.Errorf("testbed: device %d: %w", d, err)
+		}
+		e.policies[d] = pol
+		e.clients[d] = &client{}
+		e.lastNet[d] = -1
+		e.res.Devices[d] = DeviceResult{
+			Algorithm:   spec.Algorithm,
+			BitrateMbps: make([]float64, cfg.Slots),
+		}
+	}
+	return e, nil
+}
+
+func (e *experiment) close() {
+	for _, c := range e.clients {
+		if c != nil {
+			c.close()
+		}
+	}
+	for _, ap := range e.aps {
+		ap.close()
+	}
+}
+
+func (e *experiment) present(d, t int) bool {
+	leave := e.cfg.Devices[d].Leave
+	return leave == 0 || t < leave
+}
+
+func (e *experiment) run() (*Result, error) {
+	timeScale := float64(e.cfg.SlotDuration) / e.cfg.VirtualSlotSeconds // ns of real time per paper second
+	slotSec := e.cfg.SlotDuration.Seconds()
+
+	for t := 0; t < e.cfg.Slots; t++ {
+		// Phase 1: policies pick networks; devices that switch re-dial
+		// after their scaled switching delay.
+		for d := range e.cfg.Devices {
+			if !e.present(d, t) {
+				if e.present(d, t-1) {
+					e.captureResets(d)
+					e.clients[d].close()
+				}
+				continue
+			}
+			choice := e.policies[d].Select()
+			if choice != e.lastNet[d] {
+				var delay time.Duration
+				if e.lastNet[d] >= 0 {
+					e.res.Devices[d].Switches++
+					virtual := e.cfg.WiFiDelay.Sample(e.rngs[d])
+					if virtual < 0 {
+						virtual = 0
+					}
+					if virtual > e.cfg.VirtualSlotSeconds {
+						virtual = e.cfg.VirtualSlotSeconds
+					}
+					delay = time.Duration(virtual * timeScale)
+				}
+				e.clients[d].switchTo(e.aps[choice].addr(), delay)
+				e.lastNet[d] = choice
+			}
+		}
+
+		// Phase 2: let the slot elapse in real time.
+		time.Sleep(e.cfg.SlotDuration)
+
+		// Phase 3: harvest byte counts, feed policies, record metrics.
+		var rates []float64
+		for d := range e.cfg.Devices {
+			if !e.present(d, t) {
+				e.res.Devices[d].BitrateMbps[t] = -1
+				continue
+			}
+			bytes := e.clients[d].harvest()
+			e.res.Devices[d].DownloadBytes += bytes
+			virtualMbps := float64(bytes) / slotSec / e.cfg.BytesPerVirtualMbps
+			e.res.Devices[d].BitrateMbps[t] = virtualMbps
+			rates = append(rates, virtualMbps)
+			gain := virtualMbps / e.scale
+			if gain > 1 {
+				gain = 1
+			}
+			e.policies[d].Observe(gain)
+		}
+
+		var agg float64
+		for _, ap := range e.cfg.APs {
+			agg += ap.Bandwidth
+		}
+		e.res.Distance[t] = game.DistanceFromAverageBitRate(agg, rates)
+	}
+
+	e.finish()
+	return e.res, nil
+}
+
+func (e *experiment) captureResets(d int) {
+	if p, ok := e.policies[d].(core.ResetReporter); ok {
+		e.res.Devices[d].Resets = p.Resets()
+	}
+}
+
+// finish computes download percentages against the estimated total capacity
+// over each device's lifetime.
+func (e *experiment) finish() {
+	var aggBytesPerSlot float64
+	for _, ap := range e.cfg.APs {
+		aggBytesPerSlot += ap.Bandwidth * e.cfg.BytesPerVirtualMbps * e.cfg.SlotDuration.Seconds()
+	}
+	for d := range e.cfg.Devices {
+		e.captureResets(d)
+		slots := e.cfg.Slots
+		if e.cfg.Devices[d].Leave > 0 {
+			slots = e.cfg.Devices[d].Leave
+		}
+		total := aggBytesPerSlot * float64(slots)
+		if total > 0 {
+			e.res.Devices[d].DownloadPct = float64(e.res.Devices[d].DownloadBytes) / total * 100
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package testbed
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/rngutil"
+)
+
+func smallConfig(devices int, alg core.Algorithm) Config {
+	specs := make([]DeviceSpec, devices)
+	for d := range specs {
+		specs[d] = DeviceSpec{Algorithm: alg}
+	}
+	return Config{
+		APs: []netmodel.Network{
+			{Name: "ap-a", Type: netmodel.WiFi, Bandwidth: 4},
+			{Name: "ap-b", Type: netmodel.WiFi, Bandwidth: 12},
+		},
+		Devices:      specs,
+		Slots:        20,
+		SlotDuration: 40 * time.Millisecond,
+		Seed:         1,
+	}
+}
+
+func TestTokenBucketApproximatesRate(t *testing.T) {
+	const rate = 200000.0 // bytes/sec
+	b := newTokenBucket(rate)
+	stop := make(chan struct{})
+	defer close(stop)
+	start := time.Now()
+	var taken float64
+	for time.Since(start) < 300*time.Millisecond {
+		if !b.take(4096, stop) {
+			t.Fatal("take aborted unexpectedly")
+		}
+		taken += 4096
+	}
+	elapsed := time.Since(start).Seconds()
+	got := taken / elapsed
+	if got > rate*1.5 || got < rate*0.5 {
+		t.Fatalf("bucket delivered %.0f B/s, configured %.0f B/s", got, rate)
+	}
+}
+
+func TestTokenBucketStops(t *testing.T) {
+	b := newTokenBucket(1) // hopelessly slow
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- b.take(1e9, stop) }()
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("take succeeded after stop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("take did not honor stop")
+	}
+}
+
+func TestAccessPointServesSharedRate(t *testing.T) {
+	ap, err := startAccessPoint("test", 100000, 0, rngutil.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.close()
+
+	// Two clients share the AP: together they should receive roughly the
+	// configured rate over a short window.
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		c := &client{}
+		c.switchTo(ap.addr(), 0)
+		wg.Add(1)
+		go func(c *client) {
+			defer wg.Done()
+			time.Sleep(400 * time.Millisecond)
+			n := c.harvest()
+			c.close()
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	// 100 kB/s for 0.4 s ≈ 40 kB (+ burst); accept a generous band to stay
+	// robust on loaded CI machines.
+	if total < 10000 || total > 120000 {
+		t.Fatalf("two clients received %d bytes in 0.4 s at 100 kB/s shared", total)
+	}
+}
+
+func TestClientSwitchDelaysData(t *testing.T) {
+	ap, err := startAccessPoint("test", 200000, 0, rngutil.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.close()
+	c := &client{}
+	defer c.close()
+	c.switchTo(ap.addr(), 150*time.Millisecond)
+	time.Sleep(75 * time.Millisecond)
+	if n := c.harvest(); n != 0 {
+		t.Fatalf("received %d bytes during the switching delay", n)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if n := c.harvest(); n == 0 {
+		t.Fatal("received nothing after the switching delay elapsed")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	res, err := Run(smallConfig(4, core.AlgSmartEXP3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Devices) != 4 {
+		t.Fatalf("got %d device results", len(res.Devices))
+	}
+	var total int64
+	for d := range res.Devices {
+		total += res.Devices[d].DownloadBytes
+		if res.Devices[d].DownloadPct < 0 || res.Devices[d].DownloadPct > 100 {
+			t.Fatalf("device %d download pct %v", d, res.Devices[d].DownloadPct)
+		}
+		if len(res.Devices[d].BitrateMbps) != 20 {
+			t.Fatalf("device %d bitrate series length %d", d, len(res.Devices[d].BitrateMbps))
+		}
+	}
+	if total == 0 {
+		t.Fatal("no data moved through the testbed")
+	}
+	if len(res.Distance) != 20 {
+		t.Fatalf("distance series length %d", len(res.Distance))
+	}
+	if res.OptimalDistance < 0 {
+		t.Fatalf("optimal distance %v", res.OptimalDistance)
+	}
+}
+
+func TestRunDeviceLeaves(t *testing.T) {
+	cfg := smallConfig(3, core.AlgGreedy)
+	cfg.Devices[2].Leave = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 10; tt < cfg.Slots; tt++ {
+		if res.Devices[2].BitrateMbps[tt] >= 0 {
+			t.Fatalf("left device has bitrate at slot %d", tt)
+		}
+	}
+	if res.Devices[2].DownloadBytes == 0 {
+		t.Fatal("device downloaded nothing before leaving")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"no aps", func(c *Config) { c.APs = nil }, "access point"},
+		{"zero bandwidth", func(c *Config) { c.APs[0].Bandwidth = 0 }, "bandwidth"},
+		{"no devices", func(c *Config) { c.Devices = nil }, "device"},
+		{"no slots", func(c *Config) { c.Slots = 0 }, "slots"},
+		{"centralized", func(c *Config) { c.Devices[0].Algorithm = core.AlgCentralized }, "centralized"},
+		{"bad leave", func(c *Config) { c.Devices[0].Leave = -1 }, "leave"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallConfig(2, core.AlgGreedy)
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %v, want mention of %q", err, tt.want)
+			}
+		})
+	}
+}

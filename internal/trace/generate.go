@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smartexp3/internal/rngutil"
+)
+
+// The paper's traces are 25 minutes of 15-second slots.
+const (
+	paperSlots       = 100
+	paperSlotSeconds = 15.0
+)
+
+// Style selects which of the paper's four trace-pair structures to
+// synthesize. The structures matter for Table VI's conclusion: Smart EXP3
+// outperforms Greedy whenever no single network is always best (pairs 1, 3
+// and 4); Greedy is marginally better when one network dominates throughout
+// (pair 2).
+type Style int
+
+// The four pair styles of Section VI-B.
+const (
+	// StyleAlternating: WiFi steady, cellular alternating between good and
+	// poor regimes (trace pair 1).
+	StyleAlternating Style = iota + 1
+	// StyleCellularDominant: cellular always better than WiFi (trace pair 2).
+	StyleCellularDominant
+	// StyleCrossover: WiFi good then poor, cellular poor then good, with a
+	// mid-trace crossover (trace pair 3).
+	StyleCrossover
+	// StyleBothVolatile: both networks regime-switch out of phase (trace
+	// pair 4).
+	StyleBothVolatile
+)
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case StyleAlternating:
+		return "alternating-cellular"
+	case StyleCellularDominant:
+		return "cellular-dominant"
+	case StyleCrossover:
+		return "crossover"
+	case StyleBothVolatile:
+		return "both-volatile"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Generate synthesizes a trace pair of the given style. Rates follow a
+// mean-reverting random walk around a style-specific, possibly
+// regime-switching mean, clamped to the 0.2–6 Mbps band the paper's traces
+// occupy (Figure 12 plots 0–6 Mbps).
+func Generate(style Style, slots int, seed int64) Pair {
+	if slots <= 0 {
+		slots = paperSlots
+	}
+	rng := rngutil.NewChild(seed, int64(style))
+	name := fmt.Sprintf("trace-%d-%s", int(style), style)
+	p := Pair{
+		Name:     name,
+		WiFi:     Trace{Name: name + "/wifi", SlotSeconds: paperSlotSeconds},
+		Cellular: Trace{Name: name + "/cellular", SlotSeconds: paperSlotSeconds},
+	}
+
+	wifiMean, cellMean := meanSchedules(style, slots, rng)
+	p.WiFi.Rates = walk(rng, wifiMean, wifiVolatility(style))
+	p.Cellular.Rates = walk(rng, cellMean, cellVolatility(style))
+
+	if style == StyleCellularDominant {
+		// Pair 2's defining property: the cellular network is better in
+		// every single slot.
+		for t := range p.Cellular.Rates {
+			if p.Cellular.Rates[t] < p.WiFi.Rates[t]+0.5 {
+				p.Cellular.Rates[t] = p.WiFi.Rates[t] + 0.5
+			}
+		}
+	}
+	return p
+}
+
+// PaperPairs returns the four pairs evaluated in Table VI, at the paper's
+// horizon (100 slots of 15 s).
+func PaperPairs(seed int64) []Pair {
+	styles := []Style{StyleAlternating, StyleCellularDominant, StyleCrossover, StyleBothVolatile}
+	pairs := make([]Pair, len(styles))
+	for i, s := range styles {
+		pairs[i] = Generate(s, paperSlots, seed)
+	}
+	return pairs
+}
+
+// meanSchedules builds the per-slot mean bit rate of each network.
+func meanSchedules(style Style, slots int, rng *rand.Rand) (wifi, cell []float64) {
+	wifi = make([]float64, slots)
+	cell = make([]float64, slots)
+	switch style {
+	case StyleAlternating:
+		fill(wifi, 3.6)
+		regime(cell, rng, 4.9, 1.4, 18)
+	case StyleCellularDominant:
+		fill(wifi, 2.8)
+		fill(cell, 5.1)
+	case StyleCrossover:
+		for t := range wifi {
+			if t < slots/2 {
+				wifi[t], cell[t] = 4.6, 1.4
+			} else {
+				wifi[t], cell[t] = 1.2, 4.8
+			}
+		}
+	case StyleBothVolatile:
+		// Anti-phase regimes on a shared clock: the networks take turns
+		// being the good choice, so whichever one a one-shot learner locks
+		// onto spends long stretches as the wrong pick.
+		antiPhase(wifi, cell, rng, 5.0, 1.2, 15)
+	}
+	return wifi, cell
+}
+
+func wifiVolatility(style Style) float64 {
+	if style == StyleBothVolatile {
+		return 0.45
+	}
+	return 0.3
+}
+
+func cellVolatility(style Style) float64 {
+	// The paper notes that bit rates "fluctuate, especially for the
+	// cellular network".
+	return 0.55
+}
+
+// walk produces a mean-reverting random walk around the per-slot means.
+func walk(rng *rand.Rand, means []float64, sigma float64) []float64 {
+	const (
+		revert  = 0.35
+		minRate = 0.2
+		maxRate = 6.0
+	)
+	out := make([]float64, len(means))
+	cur := means[0] + sigma*rng.NormFloat64()
+	for t, mu := range means {
+		cur += revert*(mu-cur) + sigma*rng.NormFloat64()
+		cur = math.Min(math.Max(cur, minRate), maxRate)
+		out[t] = cur
+	}
+	return out
+}
+
+// antiPhase fills two mean schedules that swap the good and bad levels at
+// shared flip times; each regime lasts between dwell and 2·dwell slots.
+func antiPhase(first, second []float64, rng *rand.Rand, good, bad float64, dwell int) {
+	firstIsGood := true
+	left := dwell + rng.Intn(dwell+1)
+	for t := range first {
+		if left == 0 {
+			firstIsGood = !firstIsGood
+			left = dwell + rng.Intn(dwell+1)
+		}
+		if firstIsGood {
+			first[t], second[t] = good, bad
+		} else {
+			first[t], second[t] = bad, good
+		}
+		left--
+	}
+}
+
+// regime fills means with a two-state process alternating between hi and lo
+// with geometric dwell times around the given mean dwell.
+func regime(means []float64, rng *rand.Rand, a, b float64, dwell int) {
+	cur, other := a, b
+	left := 1 + rng.Intn(2*dwell)
+	for t := range means {
+		if left == 0 {
+			cur, other = other, cur
+			left = 1 + rng.Intn(2*dwell)
+		}
+		means[t] = cur
+		left--
+	}
+}
+
+func fill(xs []float64, v float64) {
+	for i := range xs {
+		xs[i] = v
+	}
+}

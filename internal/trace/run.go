@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/dist"
+	"smartexp3/internal/rngutil"
+)
+
+// RunConfig parameterizes one trace-driven run: a single device repeatedly
+// choosing between the pair's WiFi and cellular networks, observing the
+// traced bit rate of whichever it selects (Section VI-B).
+type RunConfig struct {
+	Pair      Pair
+	Algorithm core.Algorithm
+	Seed      int64
+	// Core configures EXP3-family policies; zero value = core.DefaultConfig.
+	Core core.Config
+	// GainScale maps bit rates to [0,1]; defaults to the pair's maximum.
+	GainScale float64
+	// WiFiDelay and CellularDelay model the switching cost; nil = defaults.
+	WiFiDelay     dist.Sampler
+	CellularDelay dist.Sampler
+}
+
+// RunResult is the outcome of one trace-driven run.
+type RunResult struct {
+	// DownloadMB is the cumulative goodput in megabytes (Table VI).
+	DownloadMB float64
+	// SwitchCostMB is the data forgone while re-associating: bit rate times
+	// switching delay, in megabytes (Table VI's "Cost").
+	SwitchCostMB float64
+	// Switches counts network changes.
+	Switches int
+	// Selections holds the chosen network per slot (WiFiIndex or
+	// CellularIndex).
+	Selections []int
+	// RateMbps holds the selected network's traced bit rate per slot — the
+	// "bit rate of Smart EXP3" series of Figure 12.
+	RateMbps []float64
+}
+
+// Run executes one trace-driven selection run.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if err := cfg.Pair.Validate(); err != nil {
+		return nil, err
+	}
+	slots := cfg.Pair.Slots()
+	slotSeconds := cfg.Pair.WiFi.SlotSeconds
+	if slotSeconds <= 0 {
+		slotSeconds = paperSlotSeconds
+	}
+	scale := cfg.GainScale
+	if scale <= 0 {
+		scale = cfg.Pair.MaxRate()
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("trace: pair %q has zero rates throughout", cfg.Pair.Name)
+	}
+	coreCfg := cfg.Core
+	if coreCfg.Gamma == nil {
+		coreCfg = core.DefaultConfig()
+	}
+	wifiDelay := cfg.WiFiDelay
+	if wifiDelay == nil {
+		wifiDelay = dist.DefaultWiFiDelay()
+	}
+	cellDelay := cfg.CellularDelay
+	if cellDelay == nil {
+		cellDelay = dist.DefaultCellularDelay()
+	}
+
+	rng := rngutil.New(cfg.Seed)
+	policy, err := core.New(cfg.Algorithm, []int{WiFiIndex, CellularIndex}, coreCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{
+		Selections: make([]int, slots),
+		RateMbps:   make([]float64, slots),
+	}
+	last := -1
+	for t := 0; t < slots; t++ {
+		choice := policy.Select()
+		rate := cfg.Pair.Rate(choice, t)
+		var delay float64
+		if last >= 0 && choice != last {
+			res.Switches++
+			if choice == CellularIndex {
+				delay = cellDelay.Sample(rng)
+			} else {
+				delay = wifiDelay.Sample(rng)
+			}
+			if delay < 0 {
+				delay = 0
+			}
+			if delay > slotSeconds {
+				delay = slotSeconds
+			}
+		}
+		res.DownloadMB += rate * (slotSeconds - delay) / 8
+		res.SwitchCostMB += rate * delay / 8
+		res.Selections[t] = choice
+		res.RateMbps[t] = rate
+		policy.Observe(rate / scale)
+		last = choice
+	}
+	return res, nil
+}

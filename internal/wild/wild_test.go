@@ -1,0 +1,92 @@
+package wild
+
+import (
+	"testing"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/rngutil"
+)
+
+func TestRunCompletesDownload(t *testing.T) {
+	res, err := Run(Config{FileMB: 50, Algorithm: core.AlgSmartEXP3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("download did not complete")
+	}
+	if res.Minutes <= 0 || res.Slots <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{FileMB: 50, Algorithm: core.AlgSmartEXP3, Seed: 7}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Minutes != b.Minutes || a.Switches != b.Switches {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{FileMB: 0, Algorithm: core.AlgGreedy}); err == nil {
+		t.Fatal("want error for zero file size")
+	}
+	env := Environment{}
+	if _, err := Run(Config{FileMB: 10, Algorithm: core.AlgGreedy, Environment: &env}); err == nil {
+		t.Fatal("want error for capacity-free environment")
+	}
+}
+
+func TestRunTimeAccounting(t *testing.T) {
+	// Completion time can never exceed slots × slot duration, and the last
+	// slot is partially charged.
+	res, err := Run(Config{FileMB: 30, Algorithm: core.AlgGreedy, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxMinutes := float64(res.Slots) * 15 / 60
+	if res.Minutes > maxMinutes+1e-9 {
+		t.Fatalf("minutes %v exceed %d slots worth (%v)", res.Minutes, res.Slots, maxMinutes)
+	}
+}
+
+func TestBackgroundLoadStaysInBounds(t *testing.T) {
+	l := backgroundLoad{users: 2, minUsers: 1, maxUsers: 4, moveProb: 1}
+	rng := rngutil.New(5)
+	for i := 0; i < 1000; i++ {
+		l.step(rng)
+		if l.users < 1 || l.users > 4 {
+			t.Fatalf("load %d escaped [1,4]", l.users)
+		}
+	}
+}
+
+func TestSmartFasterThanGreedyOnAverage(t *testing.T) {
+	// The Section VII-B claim at reduced scale. Averaged over seeds the
+	// adaptive policy must finish no slower than Greedy.
+	var smart, greedy float64
+	const runs = 10
+	for s := int64(0); s < runs; s++ {
+		rs, err := Run(Config{FileMB: 200, Algorithm: core.AlgSmartEXP3, Seed: 50 + s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := Run(Config{FileMB: 200, Algorithm: core.AlgGreedy, Seed: 50 + s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smart += rs.Minutes
+		greedy += rg.Minutes
+	}
+	if smart > greedy*1.05 {
+		t.Fatalf("smart %.1f min noticeably slower than greedy %.1f min", smart/runs, greedy/runs)
+	}
+}

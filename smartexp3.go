@@ -1,0 +1,229 @@
+package smartexp3
+
+import (
+	"math/rand"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/criteria"
+	"smartexp3/internal/dist"
+	"smartexp3/internal/experiment"
+	"smartexp3/internal/game"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/report"
+	"smartexp3/internal/sim"
+	"smartexp3/internal/testbed"
+	"smartexp3/internal/trace"
+	"smartexp3/internal/wild"
+)
+
+// Policy layer (the paper's contribution and its baselines).
+type (
+	// Policy is a per-device network selection strategy; see NewPolicy.
+	Policy = core.Policy
+	// Algorithm names one of the paper's selection policies.
+	Algorithm = core.Algorithm
+	// PolicyConfig carries Smart EXP3's Section V tunables.
+	PolicyConfig = core.Config
+	// Features toggles Smart EXP3's individual mechanisms (for ablations).
+	Features = core.Features
+	// ProbabilityReporter exposes a policy's selection distribution.
+	ProbabilityReporter = core.ProbabilityReporter
+)
+
+// The algorithms of Tables II and III.
+const (
+	AlgEXP3             = core.AlgEXP3
+	AlgBlockEXP3        = core.AlgBlockEXP3
+	AlgHybridBlockEXP3  = core.AlgHybridBlockEXP3
+	AlgSmartEXP3NoReset = core.AlgSmartEXP3NoReset
+	AlgSmartEXP3        = core.AlgSmartEXP3
+	AlgGreedy           = core.AlgGreedy
+	AlgFullInformation  = core.AlgFullInformation
+	AlgFixedRandom      = core.AlgFixedRandom
+	AlgCentralized      = core.AlgCentralized
+)
+
+// Algorithms lists every algorithm in presentation order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// DefaultPolicyConfig returns the parameter values of Section V
+// (β=0.1, γ(b)=b^{-1/3}, reset thresholds 0.75/40, drop rule 15%/4 slots).
+func DefaultPolicyConfig() PolicyConfig { return core.DefaultConfig() }
+
+// NewPolicy constructs the given algorithm's policy over the available
+// network ids with default parameters. Gains passed to Observe must be bit
+// rates scaled into [0,1].
+func NewPolicy(a Algorithm, available []int, rng *rand.Rand) (Policy, error) {
+	return core.New(a, available, core.DefaultConfig(), rng)
+}
+
+// NewPolicyWithConfig is NewPolicy with explicit Section V parameters.
+func NewPolicyWithConfig(a Algorithm, available []int, cfg PolicyConfig, rng *rand.Rand) (Policy, error) {
+	return core.New(a, available, cfg, rng)
+}
+
+// NewCustomSmartEXP3 builds Smart EXP3 with an explicit feature subset, the
+// ablation entry point.
+func NewCustomSmartEXP3(name string, feat Features, available []int, cfg PolicyConfig, rng *rand.Rand) Policy {
+	return core.NewSmartEXP3(name, feat, available, cfg, rng)
+}
+
+// Network model.
+type (
+	// Network is one selectable wireless network.
+	Network = netmodel.Network
+	// Topology is a set of networks scoped by service areas.
+	Topology = netmodel.Topology
+)
+
+// Network technology types.
+const (
+	WiFi     = netmodel.WiFi
+	Cellular = netmodel.Cellular
+)
+
+// Standard topologies of the evaluation.
+var (
+	// Setting1 returns the 4/7/22 Mbps static setting.
+	Setting1 = netmodel.Setting1
+	// Setting2 returns the uniform 11/11/11 Mbps static setting.
+	Setting2 = netmodel.Setting2
+	// FoodCourt returns the Figure 1 mobility topology.
+	FoodCourt = netmodel.FoodCourt
+	// UniformTopology returns k identical WiFi networks.
+	UniformTopology = netmodel.Uniform
+)
+
+// Simulation layer.
+type (
+	// SimConfig parameterizes a slotted-time simulation run.
+	SimConfig = sim.Config
+	// SimResult is a run's outcome.
+	SimResult = sim.Result
+	// DeviceSpec describes one simulated device.
+	DeviceSpec = sim.DeviceSpec
+	// AreaStay is one leg of a device trajectory.
+	AreaStay = sim.AreaStay
+	// CollectOptions selects per-slot observables to record.
+	CollectOptions = sim.CollectOptions
+	// DeviceResult aggregates one device's run.
+	DeviceResult = sim.DeviceResult
+)
+
+// Simulate executes one simulation run.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// UniformDevices builds n devices that all run the same algorithm.
+func UniformDevices(n int, a Algorithm) []DeviceSpec { return sim.UniformDevices(n, a) }
+
+// MbToGB converts megabits to decimal gigabytes (Table V's unit).
+func MbToGB(mb float64) float64 { return sim.MbToGB(mb) }
+
+// Multi-criteria selection (the paper's future-work criteria: energy and
+// monetary cost folded into the gain; see internal/criteria).
+type (
+	// CriteriaProfile weighs throughput against energy and money.
+	CriteriaProfile = criteria.Profile
+	// NetworkCosts are one network's non-throughput characteristics.
+	NetworkCosts = criteria.Costs
+)
+
+// Standard criteria profiles.
+var (
+	// ThroughputOnlyCriteria reproduces the paper's main setting.
+	ThroughputOnlyCriteria = criteria.ThroughputOnly
+	// BalancedCriteria weighs throughput against energy and price.
+	BalancedCriteria = criteria.Balanced
+	// DefaultNetworkCosts returns per-technology default costs.
+	DefaultNetworkCosts = criteria.DefaultCosts
+)
+
+// Delay models.
+type DelaySampler = dist.Sampler
+
+// Default switching-delay models (Johnson S_U for WiFi, Student's t for
+// cellular), truncated below the 15 s slot.
+var (
+	DefaultWiFiDelay     = dist.DefaultWiFiDelay
+	DefaultCellularDelay = dist.DefaultCellularDelay
+)
+
+// Trace-driven simulation (Section VI-B).
+type (
+	// TracePair couples simultaneous WiFi and cellular bit-rate traces.
+	TracePair = trace.Pair
+	// TraceRunConfig parameterizes a single-device trace-driven run.
+	TraceRunConfig = trace.RunConfig
+	// TraceRunResult is its outcome.
+	TraceRunResult = trace.RunResult
+	// TraceStyle selects one of the paper's four trace-pair structures.
+	TraceStyle = trace.Style
+)
+
+// GenerateTracePair synthesizes a trace pair of the given style.
+func GenerateTracePair(style TraceStyle, slots int, seed int64) TracePair {
+	return trace.Generate(style, slots, seed)
+}
+
+// PaperTracePairs returns synthetic equivalents of the paper's four pairs.
+func PaperTracePairs(seed int64) []TracePair { return trace.PaperPairs(seed) }
+
+// RunTrace executes one trace-driven selection run.
+func RunTrace(cfg TraceRunConfig) (*TraceRunResult, error) { return trace.Run(cfg) }
+
+// Controlled testbed (Section VII-A).
+type (
+	// TestbedConfig parameterizes a real-TCP controlled experiment.
+	TestbedConfig = testbed.Config
+	// TestbedResult is its outcome.
+	TestbedResult = testbed.Result
+	// TestbedDeviceSpec describes one testbed device.
+	TestbedDeviceSpec = testbed.DeviceSpec
+)
+
+// RunTestbed executes one controlled experiment over real TCP sockets.
+func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) { return testbed.Run(cfg) }
+
+// In-the-wild emulation (Section VII-B).
+type (
+	// WildConfig parameterizes one 500 MB-style download.
+	WildConfig = wild.Config
+	// WildResult is its outcome.
+	WildResult = wild.Result
+)
+
+// RunWild performs one in-the-wild download.
+func RunWild(cfg WildConfig) (*WildResult, error) { return wild.Run(cfg) }
+
+// Game-theoretic helpers (Definitions 2–4).
+var (
+	// NashCounts computes a pure NE allocation for homogeneous availability.
+	NashCounts = game.NashCounts
+	// DistanceToNash is the Definition 3 metric.
+	DistanceToNash = game.DistanceToNash
+	// DistanceFromAverageBitRate is the Definition 4 metric.
+	DistanceFromAverageBitRate = game.DistanceFromAverageBitRate
+)
+
+// Experiment harness (one experiment per paper table/figure).
+type (
+	// Experiment is one reproducible paper artifact.
+	Experiment = experiment.Definition
+	// ExperimentOptions scales the experiment suite.
+	ExperimentOptions = experiment.Options
+	// ExperimentReport is a rendered result.
+	ExperimentReport = report.Report
+)
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment { return experiment.All() }
+
+// ExperimentByID returns the experiment with the given id (fig2, tab5, ...).
+func ExperimentByID(id string) (Experiment, bool) { return experiment.ByID(id) }
+
+// DefaultExperimentOptions returns full-harness options; QuickExperimentOptions
+// returns options sized for tests and benchmarks.
+var (
+	DefaultExperimentOptions = experiment.Default
+	QuickExperimentOptions   = experiment.Quick
+)

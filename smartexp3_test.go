@@ -1,0 +1,151 @@
+package smartexp3_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartexp3"
+)
+
+func TestFacadePolicyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pol, err := smartexp3.NewPolicy(smartexp3.AlgSmartEXP3, []int{0, 1, 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for i := 0; i < 400; i++ {
+		net := pol.Select()
+		counts[net]++
+		gain := 0.1
+		if net == 2 {
+			gain = 0.9
+		}
+		pol.Observe(gain)
+	}
+	if counts[2] < 200 {
+		t.Fatalf("facade policy did not learn: %v", counts)
+	}
+}
+
+func TestFacadeAlgorithmsAndConfig(t *testing.T) {
+	if len(smartexp3.Algorithms()) != 9 {
+		t.Fatalf("Algorithms() = %d entries", len(smartexp3.Algorithms()))
+	}
+	cfg := smartexp3.DefaultPolicyConfig()
+	if cfg.Beta != 0.1 {
+		t.Fatalf("default beta %v", cfg.Beta)
+	}
+	rng := rand.New(rand.NewSource(2))
+	pol, err := smartexp3.NewPolicyWithConfig(smartexp3.AlgBlockEXP3, []int{0, 1}, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "Block EXP3" {
+		t.Fatalf("Name = %q", pol.Name())
+	}
+}
+
+func TestFacadeCustomSmartEXP3(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	feat := smartexp3.Features{Blocking: true}
+	pol := smartexp3.NewCustomSmartEXP3("ablated", feat, []int{0, 1}, smartexp3.DefaultPolicyConfig(), rng)
+	if pol.Name() != "ablated" {
+		t.Fatalf("Name = %q", pol.Name())
+	}
+	pol.Select()
+	pol.Observe(0.5)
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	res, err := smartexp3.Simulate(smartexp3.SimConfig{
+		Topology: smartexp3.Setting1(),
+		Devices:  smartexp3.UniformDevices(6, smartexp3.AlgSmartEXP3),
+		Slots:    150,
+		Seed:     1,
+		Collect:  smartexp3.CollectOptions{Distance: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Devices) != 6 || len(res.Distance) != 150 {
+		t.Fatalf("unexpected result shape: %d devices, %d slots", len(res.Devices), len(res.Distance))
+	}
+	if smartexp3.MbToGB(8000) != 1 {
+		t.Fatal("MbToGB broken")
+	}
+}
+
+func TestFacadeTraces(t *testing.T) {
+	pairs := smartexp3.PaperTracePairs(1)
+	if len(pairs) != 4 {
+		t.Fatalf("PaperTracePairs = %d", len(pairs))
+	}
+	res, err := smartexp3.RunTrace(smartexp3.TraceRunConfig{
+		Pair:      pairs[0],
+		Algorithm: smartexp3.AlgGreedy,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMB <= 0 {
+		t.Fatal("no download")
+	}
+}
+
+func TestFacadeGameHelpers(t *testing.T) {
+	counts := smartexp3.NashCounts([]float64{4, 7, 22}, 20)
+	if counts[0] != 2 || counts[1] != 4 || counts[2] != 14 {
+		t.Fatalf("NashCounts = %v", counts)
+	}
+	d := smartexp3.DistanceToNash([]float64{1, 1, 4}, []float64{2, 2, 2})
+	if d != 100 {
+		t.Fatalf("DistanceToNash = %v", d)
+	}
+	if smartexp3.DistanceFromAverageBitRate(33, []float64{11, 11, 11}) != 0 {
+		t.Fatal("DistanceFromAverageBitRate broken")
+	}
+}
+
+func TestFacadeWild(t *testing.T) {
+	res, err := smartexp3.RunWild(smartexp3.WildConfig{
+		FileMB:    20,
+		Algorithm: smartexp3.AlgSmartEXP3,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("download incomplete")
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	if len(smartexp3.Experiments()) != 23 {
+		t.Fatalf("Experiments() = %d", len(smartexp3.Experiments()))
+	}
+	if _, ok := smartexp3.ExperimentByID("fig2"); !ok {
+		t.Fatal("fig2 missing from facade registry")
+	}
+	q := smartexp3.QuickExperimentOptions()
+	d := smartexp3.DefaultExperimentOptions()
+	if q.Runs >= d.Runs {
+		t.Fatal("quick options not smaller than defaults")
+	}
+}
+
+func TestFacadeDelaySamplers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	wifi := smartexp3.DefaultWiFiDelay()
+	cell := smartexp3.DefaultCellularDelay()
+	for i := 0; i < 100; i++ {
+		if d := wifi.Sample(rng); d <= 0 || d >= 15 {
+			t.Fatalf("wifi delay %v", d)
+		}
+		if d := cell.Sample(rng); d <= 0 || d >= 15 {
+			t.Fatalf("cellular delay %v", d)
+		}
+	}
+}
