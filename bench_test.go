@@ -1,18 +1,24 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
-// at reduced replication counts (one benchmark per experiment id of
-// DESIGN.md §3), plus micro-benchmarks of the hot paths. Seeds vary per
-// iteration so the experiment caches cannot short-circuit the work.
+// at reduced replication counts (one benchmark per experiment id; run
+// `reproduce -list` for the catalog), plus micro-benchmarks of the hot
+// paths. Seeds vary per iteration so the experiment caches cannot
+// short-circuit the work.
 //
 // Run with: go test -bench=. -benchmem
 package smartexp3_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
 	"smartexp3"
+	"smartexp3/internal/core"
 	"smartexp3/internal/experiment"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/runner"
+	"smartexp3/internal/sim"
 )
 
 // benchOptions are Quick()-scale options with a seed namespaced per
@@ -92,6 +98,74 @@ func BenchmarkPolicySlot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pol.Observe(gains[pol.Select()])
+	}
+}
+
+// BenchmarkSmartEXP3Draw isolates the per-slot selection draw — the Fast
+// EXP3 hot path: incremental weight maintenance plus the O(log k)
+// weight-proportional sample — across arm counts. EXP3 features (every
+// block a single slot) maximize draw frequency so the benchmark measures
+// the draw itself, not block bookkeeping.
+func BenchmarkSmartEXP3Draw(b *testing.B) {
+	for _, k := range []int{3, 16, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			available := make([]int, k)
+			gains := make([]float64, k)
+			for i := range available {
+				available[i] = i
+				gains[i] = float64(i%10) / 10
+			}
+			pol := core.NewSmartEXP3("bench", core.FeaturesFor(core.AlgEXP3),
+				available, core.DefaultConfig(), rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pol.Observe(gains[pol.Select()])
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerReplications measures the parallel experiment runner end
+// to end: fanning seeded replications of a small Setting 1 simulation over
+// the worker pool and merging results in deterministic run order.
+func BenchmarkRunnerReplications(b *testing.B) {
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				batch := runner.Replications{
+					Runs:    8,
+					Workers: workers,
+					Seed:    int64(i + 1),
+					Stream:  []int64{42},
+				}
+				var downloads float64
+				err := runner.Merge(batch,
+					func(run int, seed int64) (*sim.Result, error) {
+						return sim.Run(sim.Config{
+							Topology: netmodel.Setting1(),
+							Devices:  sim.UniformDevices(5, core.AlgSmartEXP3),
+							Slots:    120,
+							Seed:     seed,
+						})
+					},
+					func(_ int, res *sim.Result) error {
+						for d := range res.Devices {
+							downloads += res.Devices[d].DownloadMb
+						}
+						return nil
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -9,7 +9,15 @@
 //	reproduce -run fig2,tab5      # run selected experiments
 //	reproduce -runs 500           # match the paper's replication count
 //	reproduce -quick              # tiny smoke-scale pass
+//	reproduce -parexp             # overlap whole experiments, print in order
 //	reproduce -list               # list experiment ids
+//
+// Replications always fan out across the internal/runner pool (bounded by
+// -workers, default GOMAXPROCS) and merge in run order, so the emitted
+// artifacts are bit-identical for every worker count. -parexp additionally
+// overlaps whole experiments, which pays off when wall-clock-bound testbed
+// experiments can hide behind CPU-bound sweeps; shared scenario caches are
+// deduplicated, so overlapping experiments never repeat a sweep.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 
 	"smartexp3/internal/experiment"
 	"smartexp3/internal/report"
+	"smartexp3/internal/runner"
 )
 
 func main() {
@@ -40,6 +49,7 @@ func run(args []string) error {
 		slots   = fs.Int("slots", 0, "override simulation horizon (paper: 1200)")
 		seed    = fs.Int64("seed", 0, "override base seed")
 		workers = fs.Int("workers", 0, "override worker count (default: GOMAXPROCS)")
+		parexp  = fs.Bool("parexp", false, "run whole experiments concurrently (results still print in order)")
 		outDir  = fs.String("out", "results", "output directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,18 +95,45 @@ func run(args []string) error {
 		}
 	}
 
-	for _, def := range selected {
-		start := time.Now()
-		fmt.Printf(">>> %s: %s\n", def.ID, def.Title)
-		rep, err := def.Run(opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", def.ID, err)
+	type outcome struct {
+		rep     *report.Report
+		elapsed time.Duration
+	}
+	expWorkers := 1
+	if *parexp {
+		// Split the worker budget between the experiment level and each
+		// experiment's replication pool so the two levels multiplied never
+		// oversubscribe the machine.
+		total := runner.Workers(opts.Workers)
+		expWorkers = total
+		if expWorkers > len(selected) {
+			expWorkers = len(selected)
 		}
-		fmt.Print(rep.String())
-		fmt.Printf("(%s in %s; paper: %s)\n\n", def.ID, time.Since(start).Round(time.Millisecond), def.Paper)
-		if err := report.WriteFiles(*outDir, rep); err != nil {
-			return err
+		opts.Workers = total / expWorkers
+		if opts.Workers < 1 {
+			opts.Workers = 1
 		}
 	}
-	return nil
+	return runner.MergeOrdered(expWorkers, len(selected),
+		func(i int) (outcome, error) {
+			def := selected[i]
+			if !*parexp {
+				fmt.Printf(">>> %s: %s\n", def.ID, def.Title)
+			}
+			start := time.Now()
+			rep, err := def.Run(opts)
+			if err != nil {
+				return outcome{}, fmt.Errorf("%s: %w", def.ID, err)
+			}
+			return outcome{rep: rep, elapsed: time.Since(start)}, nil
+		},
+		func(i int, out outcome) error {
+			def := selected[i]
+			if *parexp {
+				fmt.Printf(">>> %s: %s\n", def.ID, def.Title)
+			}
+			fmt.Print(out.rep.String())
+			fmt.Printf("(%s in %s; paper: %s)\n\n", def.ID, out.elapsed.Round(time.Millisecond), def.Paper)
+			return report.WriteFiles(*outDir, out.rep)
+		})
 }

@@ -6,8 +6,14 @@
 //	simulate -topology setting1 -algorithm smart -devices 20 -slots 1200
 //	simulate -topology uniform:5:11 -algorithm greedy
 //	simulate -topology foodcourt -algorithm exp3 -seed 7
+//	simulate -runs 32 -workers 8              # parallel Monte Carlo replication
 //	simulate -config scenario.json            # declarative JSON scenario
 //	simulate -writeconfig scenario.json ...   # save the flags as a scenario
+//
+// With -runs above 1 the scenario is replicated across the internal/runner
+// worker pool: each replication gets its own RNG stream derived from -seed
+// and the run index, and results merge in run order, so the printed
+// aggregate is a pure function of the seed regardless of -workers.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"strings"
 
 	"smartexp3"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/scenario"
 	"smartexp3/internal/stats"
 )
@@ -49,6 +56,8 @@ func run(args []string) error {
 		devices   = fs.Int("devices", 20, "number of devices")
 		slots     = fs.Int("slots", 1200, "number of 15 s time slots")
 		seed      = fs.Int64("seed", 1, "random seed")
+		runs      = fs.Int("runs", 1, "Monte Carlo replications of the scenario")
+		workers   = fs.Int("workers", 0, "replication worker count (default: GOMAXPROCS)")
 		confPath  = fs.String("config", "", "run a JSON scenario file instead of the flags")
 		writePath = fs.String("writeconfig", "", "write the flag-defined scenario as JSON and exit")
 	)
@@ -102,6 +111,10 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *runs > 1 {
+		return runReplicated(cfg, *runs, *workers)
+	}
+
 	res, err := smartexp3.Simulate(cfg)
 	if err != nil {
 		return err
@@ -144,6 +157,54 @@ func run(args []string) error {
 		late := res.Distance[len(res.Distance)*3/4:]
 		fmt.Printf("late distance to NE  %.2f%%\n", stats.Mean(late))
 	}
+	return nil
+}
+
+// runReplicated executes the scenario runs times over the worker pool, each
+// replication on its own RNG stream, and prints run-order-deterministic
+// aggregate statistics.
+func runReplicated(cfg smartexp3.SimConfig, runs, workers int) error {
+	var (
+		switches  []float64 // per device, pooled over runs
+		downloads []float64 // per run: median over devices (GB)
+		fairness  []float64 // per run: stddev over devices (MB)
+		atNE      []float64
+		atEps     []float64
+		stable    int
+	)
+	batch := runner.Replications{Runs: runs, Workers: workers, Seed: cfg.Seed}
+	err := runner.Merge(batch,
+		func(run int, seed int64) (*smartexp3.SimResult, error) {
+			c := cfg
+			c.Seed = seed
+			return smartexp3.Simulate(c)
+		},
+		func(_ int, res *smartexp3.SimResult) error {
+			var dls []float64
+			for d := range res.Devices {
+				switches = append(switches, float64(res.Devices[d].Switches))
+				dls = append(dls, res.Devices[d].DownloadMb)
+			}
+			downloads = append(downloads, smartexp3.MbToGB(stats.Median(dls)))
+			fairness = append(fairness, smartexp3.MbToMB(stats.StdDev(dls)))
+			atNE = append(atNE, res.FracAtNE)
+			atEps = append(atEps, res.FracAtEps)
+			if res.StabilityValid && res.Stability.Stable {
+				stable++
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replications         %d (workers %d)\n", runs, runner.Workers(workers))
+	fmt.Printf("devices x slots      %d x %d\n", len(cfg.Devices), cfg.Slots)
+	fmt.Printf("switches/device      mean %.1f  sd %.1f\n", stats.Mean(switches), stats.StdDev(switches))
+	fmt.Printf("median download      mean %.2f GB  sd %.2f GB\n", stats.Mean(downloads), stats.StdDev(downloads))
+	fmt.Printf("fairness sd          mean %.0f MB\n", stats.Mean(fairness))
+	fmt.Printf("time at NE           %.1f%%  (within eps=7.5: %.1f%%)\n",
+		100*stats.Mean(atNE), 100*stats.Mean(atEps))
+	fmt.Printf("stable runs          %d/%d\n", stable, runs)
 	return nil
 }
 

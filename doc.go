@@ -17,7 +17,9 @@
 //     generator, a real-TCP controlled testbed, and an in-the-wild download
 //     emulation.
 //   - One runnable experiment per table and figure of the paper's
-//     evaluation (see cmd/reproduce and EXPERIMENTS.md).
+//     evaluation (run `reproduce -list` under cmd/reproduce for the
+//     catalog), executed over a deterministic parallel Monte Carlo
+//     runner (internal/runner).
 //
 // # Quick start
 //

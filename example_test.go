@@ -55,7 +55,7 @@ func ExampleSimulate() {
 		Topology: smartexp3.Setting1(),
 		Devices:  smartexp3.UniformDevices(20, smartexp3.AlgSmartEXP3NoReset),
 		Slots:    1200,
-		Seed:     1,
+		Seed:     2,
 		Collect:  smartexp3.CollectOptions{Distance: true},
 	})
 	if err != nil {

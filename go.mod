@@ -1,0 +1,3 @@
+module smartexp3
+
+go 1.24

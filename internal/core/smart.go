@@ -10,9 +10,11 @@ import (
 // Features, so the same engine implements EXP3, Block EXP3, Hybrid Block
 // EXP3, Smart EXP3 w/o Reset, and full Smart EXP3.
 //
-// Weights are kept in log space and renormalized after every update, which
-// keeps the multiplicative-update rule w ← w·exp(γĝ/k) exact while remaining
-// immune to float64 overflow over long horizons.
+// Weights are kept in log space under a lazily refreshed shift (see
+// weightSet), which keeps the multiplicative-update rule w ← w·exp(γĝ/k)
+// exact and immune to float64 overflow over long horizons while making the
+// per-block weight update and the selection draw O(log k) instead of O(k)
+// — the Fast EXP3 hot-path structure.
 type SmartEXP3 struct {
 	name string
 	feat Features
@@ -23,9 +25,14 @@ type SmartEXP3 struct {
 	index     map[int]int // global id → local index
 	k         int
 
-	logW    []float64 // log-weights
-	probs   []float64 // block-start distribution p_i(b)
-	explore []int     // local indices pending initial exploration
+	w     weightSet // arm weights with O(log k) update and draw
+	probs []float64 // selection distribution, filled lazily (ensureProbs)
+	// probsValid records whether probs reflects the current (weights, γ);
+	// the full O(k) fill only happens when something reads the whole
+	// distribution, so policies without reset/greedy features (classic
+	// EXP3) never pay it on the draw path.
+	probsValid bool
+	explore    []int // local indices pending initial exploration
 
 	// Current block.
 	blockIdx  int     // b, counts blocks started (1-based)
@@ -103,8 +110,29 @@ func (p *SmartEXP3) Name() string { return p.name }
 func (p *SmartEXP3) Available() []int { return p.available }
 
 // Probabilities implements ProbabilityReporter. It returns the selection
-// distribution of the current block (uniform before the first block).
-func (p *SmartEXP3) Probabilities() []float64 { return p.probs }
+// distribution under the current weights (uniform before the first block).
+func (p *SmartEXP3) Probabilities() []float64 {
+	p.ensureProbs()
+	return p.probs
+}
+
+// ensureProbs refreshes the cached distribution if weights or γ moved since
+// it was last computed.
+func (p *SmartEXP3) ensureProbs() {
+	if !p.probsValid {
+		p.w.fill(p.probs, p.gamma)
+		p.probsValid = true
+	}
+}
+
+// armProb returns the selection probability of one arm in O(1), without
+// materializing the whole distribution.
+func (p *SmartEXP3) armProb(li int) float64 {
+	if p.probsValid {
+		return p.probs[li]
+	}
+	return p.w.prob(li, p.gamma)
+}
 
 // Resets implements ResetReporter.
 func (p *SmartEXP3) Resets() int { return p.resets }
@@ -184,6 +212,7 @@ func (p *SmartEXP3) SetAvailable(networks []int) {
 	}
 
 	// Does a high-probability network disappear? (Smart EXP3 resets then.)
+	p.ensureProbs()
 	highProbRemoved := false
 	for id := range removed {
 		if li, ok := p.index[id]; ok && li < len(p.probs) &&
@@ -228,7 +257,7 @@ func (p *SmartEXP3) snapshot() map[int]netState {
 	states := make(map[int]netState, p.k)
 	for li, id := range p.available {
 		states[id] = netState{
-			logW:    p.logW[li],
+			logW:    p.w.logW[li],
 			x:       p.x[li],
 			sumGain: p.sumGain[li],
 			cntGain: p.cntGain[li],
@@ -275,7 +304,7 @@ func (p *SmartEXP3) rebuild(next []int, prior map[int]netState) {
 	p.available = next
 	p.k = k
 	p.index = make(map[int]int, k)
-	p.logW = make([]float64, k)
+	logW := make([]float64, k)
 	p.probs = make([]float64, k)
 	p.x = make([]int, k)
 	p.sumGain = make([]float64, k)
@@ -287,13 +316,13 @@ func (p *SmartEXP3) rebuild(next []int, prior map[int]netState) {
 		p.index[id] = li
 		p.probs[li] = 1 / float64(k)
 		if s, ok := prior[id]; ok {
-			p.logW[li] = s.logW
+			logW[li] = s.logW
 			p.x[li] = s.x
 			p.sumGain[li] = s.sumGain
 			p.cntGain[li] = s.cntGain
 			p.slotsOn[li] = s.slotsOn
 		} else {
-			p.logW[li] = maxRetained
+			logW[li] = maxRetained
 			if p.feat.ExploreFirst && prior != nil {
 				// New network after construction: schedule it for
 				// exploration (before construction the explore list below
@@ -302,7 +331,9 @@ func (p *SmartEXP3) rebuild(next []int, prior map[int]netState) {
 			}
 		}
 	}
-	p.normalizeLogW()
+	p.w.seed(logW)
+	// probs holds the uniform placeholder until the next block start.
+	p.probsValid = true
 
 	if p.feat.ExploreFirst {
 		if prior == nil {
@@ -341,7 +372,7 @@ func (p *SmartEXP3) rebuild(next []int, prior map[int]netState) {
 func (p *SmartEXP3) startBlock() {
 	p.blockIdx++
 	p.gamma = clampGamma(p.cfg.Gamma(p.blockIdx))
-	p.computeProbs()
+	p.probsValid = false // γ moved; refill only if something reads probs
 
 	if p.feat.Reset && p.periodicResetDue() {
 		p.performReset()
@@ -393,9 +424,9 @@ func (p *SmartEXP3) chooseMainBlock() {
 	p.cur = p.sampleProbs()
 	if greedyPhase {
 		// Random choice while the greedy coin was available: p(b) = p_i(b)/2.
-		p.selProb = p.probs[p.cur] / 2
+		p.selProb = p.armProb(p.cur) / 2
 	} else {
-		p.selProb = p.probs[p.cur]
+		p.selProb = p.armProb(p.cur)
 	}
 }
 
@@ -408,6 +439,7 @@ func (p *SmartEXP3) greedyEligible() bool {
 	if p.k < 2 {
 		return false
 	}
+	p.ensureProbs()
 	iPlus, maxP, minP := 0, p.probs[0], p.probs[0]
 	for li := 1; li < p.k; li++ {
 		if p.probs[li] > maxP {
@@ -521,6 +553,7 @@ func (p *SmartEXP3) iMax() int {
 // periodicResetDue reports whether the periodic reset condition holds:
 // p_{i+} ≥ ResetProbability and l_{i+} ≥ ResetBlockLength.
 func (p *SmartEXP3) periodicResetDue() bool {
+	p.ensureProbs()
 	iPlus, maxP := 0, p.probs[0]
 	for li := 1; li < p.k; li++ {
 		if p.probs[li] > maxP {
@@ -556,12 +589,13 @@ func (p *SmartEXP3) performReset() {
 }
 
 // endBlock closes the current block: estimated-gain weight update (lines
-// 10–12 of Algorithm 1), bookkeeping for switch-back, and renormalization.
+// 10–12 of Algorithm 1) and bookkeeping for switch-back. The update touches
+// one arm, so it costs O(log k) — no full renormalization (see weightSet).
 func (p *SmartEXP3) endBlock() {
 	if p.selProb > 0 {
 		ghat := p.blockGain / p.selProb
-		p.logW[p.cur] += p.gamma * ghat / float64(p.k)
-		p.normalizeLogW()
+		p.w.bump(p.cur, p.gamma*ghat/float64(p.k))
+		p.probsValid = false
 	}
 	p.prevNet = p.cur
 	p.prevWindow = append(p.prevWindow[:0], p.window...)
@@ -570,50 +604,14 @@ func (p *SmartEXP3) endBlock() {
 	p.needBlock = true
 }
 
-// computeProbs applies line 2 of Algorithm 1:
-// p_i = (1−γ)·w_i/Σw + γ/k, with w taken from log space.
-func (p *SmartEXP3) computeProbs() {
-	maxLog := p.logW[0]
-	for _, lw := range p.logW[1:] {
-		if lw > maxLog {
-			maxLog = lw
-		}
-	}
-	var total float64
-	for li, lw := range p.logW {
-		p.probs[li] = math.Exp(lw - maxLog)
-		total += p.probs[li]
-	}
-	for li := range p.probs {
-		p.probs[li] = (1-p.gamma)*p.probs[li]/total + p.gamma/float64(p.k)
-	}
-}
-
-// sampleProbs draws a local index from the block-start distribution.
+// sampleProbs draws a local index from the block-start distribution by
+// mixture decomposition (Fast EXP3): with probability γ an O(1) uniform
+// exploration draw, otherwise an O(log k) weight-proportional draw.
 func (p *SmartEXP3) sampleProbs() int {
-	u := p.rng.Float64()
-	var acc float64
-	for li, pr := range p.probs {
-		acc += pr
-		if u < acc {
-			return li
-		}
+	if p.rng.Float64() < p.gamma {
+		return p.rng.Intn(p.k)
 	}
-	return p.k - 1
-}
-
-// normalizeLogW subtracts the maximum log-weight so the largest weight is
-// always 1; selection probabilities are invariant under this scaling.
-func (p *SmartEXP3) normalizeLogW() {
-	maxLog := p.logW[0]
-	for _, lw := range p.logW[1:] {
-		if lw > maxLog {
-			maxLog = lw
-		}
-	}
-	for li := range p.logW {
-		p.logW[li] -= maxLog
-	}
+	return p.w.sample(p.rng)
 }
 
 func clampGamma(g float64) float64 {

@@ -102,13 +102,18 @@ func TestProbabilitiesFormDistribution(t *testing.T) {
 func TestWeightsStayFiniteOverLongHorizons(t *testing.T) {
 	p := newSmart(t, AlgSmartEXP3NoReset, []int{0, 1, 2}, 6)
 	driveConstGains(t, p, map[int]float64{0: 1, 1: 1, 2: 1}, 10000)
-	for i, lw := range p.logW {
+	for i, lw := range p.w.logW {
 		if math.IsNaN(lw) || math.IsInf(lw, 0) {
 			t.Fatalf("log-weight %d is %v after 10k slots", i, lw)
 		}
 	}
-	if maxLW := maxOf(p.logW); maxLW != 0 {
-		t.Fatalf("log-weights not normalized: max = %v", maxLW)
+	// The lazy shift must keep every exponent within the safe span (the
+	// incremental-normalization invariant) and the linear-space view finite.
+	if span := maxOf(p.w.logW) - p.w.shift; span < 0 || span > weightReshiftSpan {
+		t.Fatalf("log-weights drifted outside the reshift span: %v", span)
+	}
+	if math.IsNaN(p.w.sumW) || math.IsInf(p.w.sumW, 0) || p.w.sumW <= 0 {
+		t.Fatalf("weight sum degenerate: %v", p.w.sumW)
 	}
 }
 
@@ -210,10 +215,10 @@ func TestResetClearsBlockLengthsAndGreedyStats(t *testing.T) {
 func TestResetKeepsWeights(t *testing.T) {
 	p := newSmart(t, AlgSmartEXP3, []int{0, 1}, 12)
 	driveConstGains(t, p, map[int]float64{0: 0.9, 1: 0.1}, 300)
-	before := append([]float64(nil), p.logW...)
+	before := append([]float64(nil), p.w.logW...)
 	p.performReset()
 	for i := range before {
-		if p.logW[i] != before[i] {
+		if p.w.logW[i] != before[i] {
 			t.Fatal("minimal reset must keep the learned weights")
 		}
 	}
@@ -264,8 +269,8 @@ func TestSetAvailableAddsNetworkWithMaxWeightAndResets(t *testing.T) {
 	if !ok {
 		t.Fatal("new network missing from index")
 	}
-	if p.logW[li] != maxOf(p.logW) {
-		t.Fatalf("new network weight %v, want the max %v", p.logW[li], maxOf(p.logW))
+	if p.w.logW[li] != maxOf(p.w.logW) {
+		t.Fatalf("new network weight %v, want the max %v", p.w.logW[li], maxOf(p.w.logW))
 	}
 	// The forced exploration must cover the new network.
 	seen := make(map[int]bool)
@@ -435,7 +440,7 @@ func TestGainClamping(t *testing.T) {
 		p.Select()
 		p.Observe(5) // out-of-range gains must be clamped, not explode
 	}
-	for _, lw := range p.logW {
+	for _, lw := range p.w.logW {
 		if math.IsNaN(lw) || math.IsInf(lw, 0) {
 			t.Fatal("weights exploded under out-of-range gains")
 		}

@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"smartexp3/internal/rngutil"
+)
+
+// samplerCases enumerates every sampler the package exports, including the
+// Section II-B default delay models.
+func samplerCases() []struct {
+	name string
+	s    Sampler
+} {
+	return []struct {
+		name string
+		s    Sampler
+	}{
+		{"constant", Constant{Value: 1.5}},
+		{"uniform", Uniform{Low: 0.5, High: 2.5}},
+		{"exponential", Exponential{MeanValue: 2}},
+		{"normal", Normal{Mu: 3, Sigma: 0.5}},
+		{"johnson-su", JohnsonSU{Gamma: 0.2982, Delta: 1.0639, Loc: 0.2054, Scale: 0.5479}},
+		{"student-t", StudentT{DF: 0.4393, Loc: 0.4957, Scale: 0.0598}},
+		{"truncated", Truncated{S: Normal{Mu: 1, Sigma: 2}, Low: 0, High: SlotSeconds}},
+		{"default-wifi", DefaultWiFiDelay()},
+		{"default-cellular", DefaultCellularDelay()},
+	}
+}
+
+// TestSamplersSeededDeterminism: every sampler is a pure function of its
+// rng, so one seed must reproduce the identical sample sequence.
+func TestSamplersSeededDeterminism(t *testing.T) {
+	for _, tc := range samplerCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := rngutil.New(42), rngutil.New(42)
+			for i := 0; i < 1000; i++ {
+				x, y := tc.s.Sample(a), tc.s.Sample(b)
+				if x != y {
+					t.Fatalf("sample %d diverged: %v vs %v", i, x, y)
+				}
+			}
+		})
+	}
+}
+
+// TestDelayModelsBounded: the delay models must produce physical delays —
+// non-negative and never longer than the 15 s slot.
+func TestDelayModelsBounded(t *testing.T) {
+	bounded := []struct {
+		name string
+		s    Sampler
+	}{
+		{"constant-zero", Constant{Value: 0}},
+		{"truncated", Truncated{S: Normal{Mu: 1, Sigma: 2}, Low: 0, High: SlotSeconds}},
+		{"default-wifi", DefaultWiFiDelay()},
+		{"default-cellular", DefaultCellularDelay()},
+	}
+	for _, tc := range bounded {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rngutil.New(7)
+			for i := 0; i < 20000; i++ {
+				x := tc.s.Sample(rng)
+				if x < 0 || x > SlotSeconds {
+					t.Fatalf("sample %d out of [0,%d]: %v", i, SlotSeconds, x)
+				}
+			}
+		})
+	}
+}
+
+// TestSampleMeansMatchConfiguredMeans: for every sampler with an analytic
+// expectation, the large-sample mean must sit within tolerance of Mean().
+func TestSampleMeansMatchConfiguredMeans(t *testing.T) {
+	const n = 200000
+	for _, tc := range samplerCases() {
+		m, ok := tc.s.(Meaner)
+		if !ok {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rngutil.New(11)
+			var sum float64
+			for i := 0; i < n; i++ {
+				sum += tc.s.Sample(rng)
+			}
+			got, want := sum/n, m.Mean()
+			tol := 0.02 * math.Max(1, math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("sample mean %v, configured mean %v (tolerance %v)", got, want, tol)
+			}
+		})
+	}
+}
+
+// TestDefaultDelayMeansPlausible pins the Section II-B shapes: WiFi
+// switching costs a couple of seconds on average, cellular under a second
+// at the median mass (its heavy tail is clipped by the slot).
+func TestDefaultDelayMeansPlausible(t *testing.T) {
+	mean := func(s Sampler, seed int64) float64 {
+		rng := rngutil.New(seed)
+		var sum float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			sum += s.Sample(rng)
+		}
+		return sum / n
+	}
+	if m := mean(DefaultWiFiDelay(), 3); m < 0.1 || m > 5 {
+		t.Fatalf("WiFi delay mean %v s, want within (0.1, 5)", m)
+	}
+	if m := mean(DefaultCellularDelay(), 4); m < 0.1 || m > 5 {
+		t.Fatalf("cellular delay mean %v s, want within (0.1, 5)", m)
+	}
+}
+
+// TestTruncatedClampFallback: an underlying distribution that never lands
+// inside the bounds must clamp instead of stalling.
+func TestTruncatedClampFallback(t *testing.T) {
+	rng := rngutil.New(1)
+	if x := (Truncated{S: Constant{Value: 40}, Low: 0, High: 15}).Sample(rng); x != 15 {
+		t.Fatalf("clamped high sample = %v, want 15", x)
+	}
+	if x := (Truncated{S: Constant{Value: -3}, Low: 0, High: 15}).Sample(rng); x != 0 {
+		t.Fatalf("clamped low sample = %v, want 0", x)
+	}
+}
+
+// TestJohnsonSUAnalyticMean cross-checks the closed form against a
+// numerically independent shape (symmetric: Gamma=0 gives mean = Loc).
+func TestJohnsonSUAnalyticMean(t *testing.T) {
+	j := JohnsonSU{Gamma: 0, Delta: 2, Loc: 1.25, Scale: 3}
+	if got := j.Mean(); math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("symmetric Johnson S_U mean = %v, want Loc = 1.25", got)
+	}
+}

@@ -2,12 +2,11 @@ package experiment
 
 import (
 	"math/rand"
-	"sync"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
-	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 	"smartexp3/internal/stats"
 )
@@ -59,42 +58,36 @@ func runAblation(o Options) (*report.Report, error) {
 	for vi, variant := range ablationVariants() {
 		feat := variant.feat
 		var (
-			mu       sync.Mutex
 			switches []float64
 			download []float64
 			fairness []float64
 			lateDist []float64
 		)
-		err := forEach(o.workers(), o.Runs, func(run int) error {
-			cfg := sim.Config{
-				Topology: netmodel.Setting1(),
-				Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3),
-				Slots:    o.Slots,
-				Seed:     rngutil.ChildSeed(o.Seed, 1600, int64(vi), int64(run)),
-				Collect:  sim.CollectOptions{Distance: true},
-				PolicyFactory: func(_ int, available []int, rng *rand.Rand) (core.Policy, error) {
-					return core.NewSmartEXP3(variant.name, feat, available, core.DefaultConfig(), rng), nil
-				},
-			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return err
-			}
-			var dls []float64
-			for d := range res.Devices {
-				dls = append(dls, res.Devices[d].DownloadMb)
-			}
-			late := res.Distance[len(res.Distance)*3/4:]
-			mu.Lock()
-			defer mu.Unlock()
-			for d := range res.Devices {
-				switches = append(switches, float64(res.Devices[d].Switches))
-			}
-			download = append(download, sim.MbToGB(stats.Median(dls)))
-			fairness = append(fairness, sim.MbToMB(stats.StdDev(dls)))
-			lateDist = append(lateDist, stats.Mean(late))
-			return nil
-		})
+		err := runner.Merge(o.replications(o.Runs, 1600, int64(vi)),
+			func(run int, seed int64) (*sim.Result, error) {
+				return sim.Run(sim.Config{
+					Topology: netmodel.Setting1(),
+					Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3),
+					Slots:    o.Slots,
+					Seed:     seed,
+					Collect:  sim.CollectOptions{Distance: true},
+					PolicyFactory: func(_ int, available []int, rng *rand.Rand) (core.Policy, error) {
+						return core.NewSmartEXP3(variant.name, feat, available, core.DefaultConfig(), rng), nil
+					},
+				})
+			},
+			func(_ int, res *sim.Result) error {
+				var dls []float64
+				for d := range res.Devices {
+					dls = append(dls, res.Devices[d].DownloadMb)
+					switches = append(switches, float64(res.Devices[d].Switches))
+				}
+				late := res.Distance[len(res.Distance)*3/4:]
+				download = append(download, sim.MbToGB(stats.Median(dls)))
+				fairness = append(fairness, sim.MbToMB(stats.StdDev(dls)))
+				lateDist = append(lateDist, stats.Mean(late))
+				return nil
+			})
 		if err != nil {
 			return nil, err
 		}

@@ -2,12 +2,11 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
-	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 	"smartexp3/internal/stats"
 )
@@ -126,63 +125,47 @@ type dynamicKey struct {
 	seed     int64
 }
 
-var (
-	dynamicMu    sync.Mutex
-	dynamicCache = make(map[dynamicKey]*dynamicAgg)
-)
+var dynamicCache runner.Group[dynamicKey, *dynamicAgg]
 
 func dynamicAggFor(o Options, scenario int, alg core.Algorithm) (*dynamicAgg, error) {
 	key := dynamicKey{scenario, alg, o.Runs, o.Slots, o.Devices, o.Seed}
-	dynamicMu.Lock()
-	if agg, ok := dynamicCache[key]; ok {
-		dynamicMu.Unlock()
-		return agg, nil
-	}
-	dynamicMu.Unlock()
-
-	agg := &dynamicAgg{Distance: stats.NewSeries(o.Slots)}
-	if scenario == scenarioMobility {
-		agg.GroupDistance = make([]*stats.Series, 4)
-		for g := range agg.GroupDistance {
-			agg.GroupDistance[g] = stats.NewSeries(o.Slots)
-		}
-	}
-	var mu sync.Mutex
-	err := forEach(o.workers(), o.Runs, func(run int) error {
-		seed := rngutil.ChildSeed(o.Seed, 700, int64(scenario), int64(alg), int64(run))
-		res, err := sim.Run(dynamicConfig(scenario, o, alg, seed))
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		agg.Distance.AddRun(res.Distance)
-		for g := range agg.GroupDistance {
-			if g < len(res.GroupDistance) {
-				agg.GroupDistance[g].AddRun(res.GroupDistance[g])
+	return dynamicCache.Do(key, func() (*dynamicAgg, error) {
+		agg := &dynamicAgg{Distance: stats.NewSeries(o.Slots)}
+		if scenario == scenarioMobility {
+			agg.GroupDistance = make([]*stats.Series, 4)
+			for g := range agg.GroupDistance {
+				agg.GroupDistance[g] = stats.NewSeries(o.Slots)
 			}
 		}
-		for d := range res.Devices {
-			dev := &res.Devices[d]
-			if dev.PresentThroughout {
-				if scenario == scenarioMobility && d < 8 {
-					agg.SwitchesMoving = append(agg.SwitchesMoving, float64(dev.Switches))
-				} else {
-					agg.SwitchesPresent = append(agg.SwitchesPresent, float64(dev.Switches))
-					agg.ResetsPresent = append(agg.ResetsPresent, float64(dev.Resets))
+		err := runner.Merge(o.replications(o.Runs, 700, int64(scenario), int64(alg)),
+			func(run int, seed int64) (*sim.Result, error) {
+				return sim.Run(dynamicConfig(scenario, o, alg, seed))
+			},
+			func(_ int, res *sim.Result) error {
+				agg.Distance.AddRun(res.Distance)
+				for g := range agg.GroupDistance {
+					if g < len(res.GroupDistance) {
+						agg.GroupDistance[g].AddRun(res.GroupDistance[g])
+					}
 				}
-			}
+				for d := range res.Devices {
+					dev := &res.Devices[d]
+					if dev.PresentThroughout {
+						if scenario == scenarioMobility && d < 8 {
+							agg.SwitchesMoving = append(agg.SwitchesMoving, float64(dev.Switches))
+						} else {
+							agg.SwitchesPresent = append(agg.SwitchesPresent, float64(dev.Switches))
+							agg.ResetsPresent = append(agg.ResetsPresent, float64(dev.Resets))
+						}
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		return nil
+		return agg, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-
-	dynamicMu.Lock()
-	dynamicCache[key] = agg
-	dynamicMu.Unlock()
-	return agg, nil
 }
 
 func runDynamicFigure(o Options, id, title string, scenario int, eventNote string) (*report.Report, error) {
@@ -328,26 +311,22 @@ func runFig11(o Options) (*report.Report, error) {
 		}
 		smartSeries := stats.NewSeries(o.Slots)
 		greedySeries := stats.NewSeries(o.Slots)
-		var mu sync.Mutex
-		err := forEach(o.workers(), o.Runs, func(run int) error {
-			cfg := sim.Config{
-				Topology:     netmodel.Setting1(),
-				Devices:      devices,
-				Slots:        o.Slots,
-				Seed:         rngutil.ChildSeed(o.Seed, 1100, int64(si), int64(run)),
-				DeviceGroups: [][]int{smartGroup, greedyGroup},
-				Collect:      sim.CollectOptions{Distance: true},
-			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			smartSeries.AddRun(res.GroupDistance[0])
-			greedySeries.AddRun(res.GroupDistance[1])
-			return nil
-		})
+		err := runner.Merge(o.replications(o.Runs, 1100, int64(si)),
+			func(run int, seed int64) (*sim.Result, error) {
+				return sim.Run(sim.Config{
+					Topology:     netmodel.Setting1(),
+					Devices:      devices,
+					Slots:        o.Slots,
+					Seed:         seed,
+					DeviceGroups: [][]int{smartGroup, greedyGroup},
+					Collect:      sim.CollectOptions{Distance: true},
+				})
+			},
+			func(_ int, res *sim.Result) error {
+				smartSeries.AddRun(res.GroupDistance[0])
+				greedySeries.AddRun(res.GroupDistance[1])
+				return nil
+			})
 		if err != nil {
 			return nil, err
 		}

@@ -11,13 +11,11 @@
 package experiment
 
 import (
-	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"smartexp3/internal/report"
+	"smartexp3/internal/runner"
 )
 
 // Options scales every experiment. The zero value is unusable; start from
@@ -93,10 +91,18 @@ func Quick() Options {
 }
 
 func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+	return runner.Workers(o.Workers)
+}
+
+// replications builds the runner batch for n seeded replications of one
+// scenario cell, namespaced by stream so no two cells share RNG streams.
+func (o Options) replications(n int, stream ...int64) runner.Replications {
+	return runner.Replications{
+		Runs:    n,
+		Workers: o.Workers,
+		Seed:    o.Seed,
+		Stream:  stream,
 	}
-	return runtime.GOMAXPROCS(0)
 }
 
 // Definition describes one runnable experiment.
@@ -184,46 +190,9 @@ func IDs() []string {
 }
 
 // forEach runs fn(0..n-1) on up to workers goroutines and returns the first
-// error.
+// error. It delegates to the shared Monte Carlo pool (internal/runner).
 func forEach(workers, n int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		err  error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if err != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if e := fn(i); e != nil {
-					mu.Lock()
-					if err == nil {
-						err = fmt.Errorf("experiment: run %d: %w", i, e)
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return err
+	return runner.ForEach(workers, n, fn)
 }
 
 // medianOf returns the median of xs (convenience wrapper keeping the

@@ -2,11 +2,11 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/report"
 	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/stats"
 	"smartexp3/internal/trace"
 )
@@ -87,22 +87,19 @@ func regretTable(rep *report.Report, title string, mkPair func(slots int, seed i
 
 		regrets := make([]float64, runs)
 		downloads := make([]float64, runs)
-		var mu sync.Mutex
-		err := forEach(o.workers(), runs, func(run int) error {
-			res, err := trace.Run(trace.RunConfig{
-				Pair:      pair,
-				Algorithm: core.AlgSmartEXP3,
-				Seed:      rngutil.ChildSeed(o.Seed, 1700, int64(T), int64(run)),
+		err := runner.Merge(o.replications(runs, 1700, int64(T)),
+			func(run int, seed int64) (*trace.RunResult, error) {
+				return trace.Run(trace.RunConfig{
+					Pair:      pair,
+					Algorithm: core.AlgSmartEXP3,
+					Seed:      seed,
+				})
+			},
+			func(run int, res *trace.RunResult) error {
+				downloads[run] = res.DownloadMB
+				regrets[run] = gmax - res.DownloadMB
+				return nil
 			})
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			downloads[run] = res.DownloadMB
-			regrets[run] = gmax - res.DownloadMB
-			mu.Unlock()
-			return nil
-		})
 		if err != nil {
 			return nil, err
 		}

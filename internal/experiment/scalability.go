@@ -2,12 +2,11 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
-	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 )
 
@@ -43,34 +42,30 @@ func runFig6(o Options) (*report.Report, error) {
 	}
 	for ci, c := range cases {
 		var (
-			mu       sync.Mutex
 			toStable []float64
 			stable   int
 			atNE     int
 		)
-		err := forEach(o.workers(), o.ScaleRuns, func(run int) error {
-			cfg := sim.Config{
-				Topology: netmodel.Uniform(c.networks, 11),
-				Devices:  sim.UniformDevices(c.devices, core.AlgSmartEXP3NoReset),
-				Slots:    o.ScaleSlots,
-				Seed:     rngutil.ChildSeed(o.Seed, 600, int64(ci), int64(run)),
-				Collect:  sim.CollectOptions{Probabilities: true},
-			}
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if res.StabilityValid && res.Stability.Stable {
-				stable++
-				toStable = append(toStable, float64(res.Stability.Slot))
-				if res.Stability.AtNash {
-					atNE++
+		err := runner.Merge(o.replications(o.ScaleRuns, 600, int64(ci)),
+			func(run int, seed int64) (*sim.Result, error) {
+				return sim.Run(sim.Config{
+					Topology: netmodel.Uniform(c.networks, 11),
+					Devices:  sim.UniformDevices(c.devices, core.AlgSmartEXP3NoReset),
+					Slots:    o.ScaleSlots,
+					Seed:     seed,
+					Collect:  sim.CollectOptions{Probabilities: true},
+				})
+			},
+			func(_ int, res *sim.Result) error {
+				if res.StabilityValid && res.Stability.Stable {
+					stable++
+					toStable = append(toStable, float64(res.Stability.Slot))
+					if res.Stability.AtNash {
+						atNE++
+					}
 				}
-			}
-			return nil
-		})
+				return nil
+			})
 		if err != nil {
 			return nil, err
 		}

@@ -1,12 +1,10 @@
 package experiment
 
 import (
-	"sync"
-
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
-	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 	"smartexp3/internal/stats"
 )
@@ -44,10 +42,7 @@ type staticKey struct {
 	seed    int64
 }
 
-var (
-	staticMu    sync.Mutex
-	staticCache = make(map[staticKey]*staticAgg)
-)
+var staticCache runner.Group[staticKey, *staticAgg]
 
 func settingTopology(setting int) netmodel.Topology {
 	if setting == 2 {
@@ -57,49 +52,39 @@ func settingTopology(setting int) netmodel.Topology {
 }
 
 // staticAggFor runs (or returns the cached aggregation of) the static
-// simulation suite for one setting and algorithm.
+// simulation suite for one setting and algorithm. Replications fan out over
+// the runner pool and merge in run order, so the aggregate is identical for
+// every worker count; concurrent callers of the same cell share one
+// computation.
 func staticAggFor(o Options, setting int, alg core.Algorithm) (*staticAgg, error) {
 	key := staticKey{setting, alg, o.Runs, o.Slots, o.Devices, o.Seed}
-	staticMu.Lock()
-	if agg, ok := staticCache[key]; ok {
-		staticMu.Unlock()
-		return agg, nil
-	}
-	staticMu.Unlock()
-
-	agg := &staticAgg{
-		Alg:      alg,
-		Runs:     o.Runs,
-		Slots:    o.Slots,
-		Devices:  o.Devices,
-		Distance: stats.NewSeries(o.Slots),
-	}
-	var mu sync.Mutex
-	err := forEach(o.workers(), o.Runs, func(run int) error {
-		cfg := sim.Config{
-			Topology: settingTopology(setting),
-			Devices:  sim.UniformDevices(o.Devices, alg),
+	return staticCache.Do(key, func() (*staticAgg, error) {
+		agg := &staticAgg{
+			Alg:      alg,
+			Runs:     o.Runs,
 			Slots:    o.Slots,
-			Seed:     rngutil.ChildSeed(o.Seed, int64(setting), int64(alg), int64(run)),
-			Collect:  sim.CollectOptions{Distance: true, Probabilities: true},
+			Devices:  o.Devices,
+			Distance: stats.NewSeries(o.Slots),
 		}
-		res, err := sim.Run(cfg)
+		err := runner.Merge(o.replications(o.Runs, int64(setting), int64(alg)),
+			func(run int, seed int64) (*sim.Result, error) {
+				return sim.Run(sim.Config{
+					Topology: settingTopology(setting),
+					Devices:  sim.UniformDevices(o.Devices, alg),
+					Slots:    o.Slots,
+					Seed:     seed,
+					Collect:  sim.CollectOptions{Distance: true, Probabilities: true},
+				})
+			},
+			func(_ int, res *sim.Result) error {
+				mergeStatic(agg, res)
+				return nil
+			})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		mu.Lock()
-		defer mu.Unlock()
-		mergeStatic(agg, res)
-		return nil
+		return agg, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-
-	staticMu.Lock()
-	staticCache[key] = agg
-	staticMu.Unlock()
-	return agg, nil
 }
 
 func mergeStatic(agg *staticAgg, res *sim.Result) {

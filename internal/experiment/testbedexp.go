@@ -2,13 +2,13 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/game"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
 	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/stats"
 	"smartexp3/internal/testbed"
 )
@@ -72,48 +72,37 @@ type testbedKey struct {
 	seed     int64
 }
 
-var (
-	testbedMu    sync.Mutex
-	testbedCache = make(map[testbedKey]*testbedAgg)
-)
+var testbedCache runner.Group[testbedKey, *testbedAgg]
 
 // testbedAggFor runs the cell (serially — the testbed is wall-clock-bound
-// and contends for real sockets and CPU, so runs must not overlap).
+// and contends for real sockets and CPU, so runs must not overlap). The
+// runner.Group still deduplicates concurrent callers of the same cell.
 func testbedAggFor(o Options, scenario int, alg core.Algorithm) (*testbedAgg, error) {
 	key := testbedKey{scenario, alg, o.TestbedRuns, o.TestbedSlots, o.Seed}
-	testbedMu.Lock()
-	if agg, ok := testbedCache[key]; ok {
-		testbedMu.Unlock()
+	return testbedCache.Do(key, func() (*testbedAgg, error) {
+		agg := &testbedAgg{
+			Distance:       stats.NewSeries(o.TestbedSlots),
+			SmartDistance:  stats.NewSeries(o.TestbedSlots),
+			GreedyDistance: stats.NewSeries(o.TestbedSlots),
+		}
+		for run := 0; run < o.TestbedRuns; run++ {
+			cfg := testbed.Config{
+				APs:          testbedAPs(),
+				Devices:      testbedDevices(scenario, alg, o.TestbedSlots),
+				Slots:        o.TestbedSlots,
+				SlotDuration: o.TestbedSlotDuration,
+				Seed:         rngutil.ChildSeed(o.Seed, 1300, int64(scenario), int64(alg), int64(run)),
+			}
+			res, err := testbed.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			agg.Optimal = res.OptimalDistance
+			agg.Distance.AddRun(res.Distance)
+			mergeTestbedRun(agg, cfg, res)
+		}
 		return agg, nil
-	}
-	testbedMu.Unlock()
-
-	agg := &testbedAgg{
-		Distance:       stats.NewSeries(o.TestbedSlots),
-		SmartDistance:  stats.NewSeries(o.TestbedSlots),
-		GreedyDistance: stats.NewSeries(o.TestbedSlots),
-	}
-	for run := 0; run < o.TestbedRuns; run++ {
-		cfg := testbed.Config{
-			APs:          testbedAPs(),
-			Devices:      testbedDevices(scenario, alg, o.TestbedSlots),
-			Slots:        o.TestbedSlots,
-			SlotDuration: o.TestbedSlotDuration,
-			Seed:         rngutil.ChildSeed(o.Seed, 1300, int64(scenario), int64(alg), int64(run)),
-		}
-		res, err := testbed.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		agg.Optimal = res.OptimalDistance
-		agg.Distance.AddRun(res.Distance)
-		mergeTestbedRun(agg, cfg, res)
-	}
-
-	testbedMu.Lock()
-	testbedCache[key] = agg
-	testbedMu.Unlock()
-	return agg, nil
+	})
 }
 
 func mergeTestbedRun(agg *testbedAgg, cfg testbed.Config, res *testbed.Result) {

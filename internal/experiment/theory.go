@@ -2,12 +2,11 @@ package experiment
 
 import (
 	"math"
-	"sync"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
-	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 	"smartexp3/internal/stats"
 )
@@ -32,32 +31,26 @@ func runTheorem2(o Options) (*report.Report, error) {
 	allWithin := true
 	for _, k := range []int{3, 5, 7} {
 		for _, T := range horizons {
-			var (
-				mu       sync.Mutex
-				switches []float64
-			)
+			var switches []float64
 			runs := o.Runs / 4
 			if runs < 4 {
 				runs = 4
 			}
-			err := forEach(o.workers(), runs, func(run int) error {
-				cfg := sim.Config{
-					Topology: netmodel.Uniform(k, 11),
-					Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3NoReset),
-					Slots:    T,
-					Seed:     rngutil.ChildSeed(o.Seed, 1500, int64(k), int64(T), int64(run)),
-				}
-				res, err := sim.Run(cfg)
-				if err != nil {
-					return err
-				}
-				mu.Lock()
-				for d := range res.Devices {
-					switches = append(switches, float64(res.Devices[d].Switches))
-				}
-				mu.Unlock()
-				return nil
-			})
+			err := runner.Merge(o.replications(runs, 1500, int64(k), int64(T)),
+				func(run int, seed int64) (*sim.Result, error) {
+					return sim.Run(sim.Config{
+						Topology: netmodel.Uniform(k, 11),
+						Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3NoReset),
+						Slots:    T,
+						Seed:     seed,
+					})
+				},
+				func(_ int, res *sim.Result) error {
+					for d := range res.Devices {
+						switches = append(switches, float64(res.Devices[d].Switches))
+					}
+					return nil
+				})
 			if err != nil {
 				return nil, err
 			}

@@ -3,11 +3,10 @@ package experiment
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/report"
-	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/trace"
 )
 
@@ -17,23 +16,16 @@ func traceOutcomes(o Options, pair trace.Pair, alg core.Algorithm, tag int64) (d
 	downloads = make([]float64, o.TraceRuns)
 	costs = make([]float64, o.TraceRuns)
 	results = make([]*trace.RunResult, o.TraceRuns)
-	var mu sync.Mutex
-	err = forEach(o.workers(), o.TraceRuns, func(run int) error {
-		res, runErr := trace.Run(trace.RunConfig{
-			Pair:      pair,
-			Algorithm: alg,
-			Seed:      rngutil.ChildSeed(o.Seed, 1200, tag, int64(alg), int64(run)),
+	err = runner.Merge(o.replications(o.TraceRuns, 1200, tag, int64(alg)),
+		func(run int, seed int64) (*trace.RunResult, error) {
+			return trace.Run(trace.RunConfig{Pair: pair, Algorithm: alg, Seed: seed})
+		},
+		func(run int, res *trace.RunResult) error {
+			downloads[run] = res.DownloadMB
+			costs[run] = res.SwitchCostMB
+			results[run] = res
+			return nil
 		})
-		if runErr != nil {
-			return runErr
-		}
-		mu.Lock()
-		downloads[run] = res.DownloadMB
-		costs[run] = res.SwitchCostMB
-		results[run] = res
-		mu.Unlock()
-		return nil
-	})
 	return downloads, costs, results, err
 }
 

@@ -2,11 +2,10 @@ package experiment
 
 import (
 	"fmt"
-	"sync"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/report"
-	"smartexp3/internal/rngutil"
+	"smartexp3/internal/runner"
 	"smartexp3/internal/stats"
 	"smartexp3/internal/wild"
 )
@@ -24,22 +23,15 @@ func runWild(o Options) (*report.Report, error) {
 	for _, alg := range []core.Algorithm{core.AlgSmartEXP3, core.AlgGreedy} {
 		minutes := make([]float64, o.WildRuns)
 		switches := make([]float64, o.WildRuns)
-		var mu sync.Mutex
-		err := forEach(o.workers(), o.WildRuns, func(run int) error {
-			res, err := wild.Run(wild.Config{
-				FileMB:    500,
-				Algorithm: alg,
-				Seed:      rngutil.ChildSeed(o.Seed, 1400, int64(alg), int64(run)),
+		err := runner.Merge(o.replications(o.WildRuns, 1400, int64(alg)),
+			func(run int, seed int64) (*wild.Result, error) {
+				return wild.Run(wild.Config{FileMB: 500, Algorithm: alg, Seed: seed})
+			},
+			func(run int, res *wild.Result) error {
+				minutes[run] = res.Minutes
+				switches[run] = float64(res.Switches)
+				return nil
 			})
-			if err != nil {
-				return err
-			}
-			mu.Lock()
-			minutes[run] = res.Minutes
-			switches[run] = float64(res.Switches)
-			mu.Unlock()
-			return nil
-		})
 		if err != nil {
 			return nil, err
 		}

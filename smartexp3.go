@@ -119,6 +119,9 @@ func UniformDevices(n int, a Algorithm) []DeviceSpec { return sim.UniformDevices
 // MbToGB converts megabits to decimal gigabytes (Table V's unit).
 func MbToGB(mb float64) float64 { return sim.MbToGB(mb) }
 
+// MbToMB converts megabits to decimal megabytes (Table VI's unit).
+func MbToMB(mb float64) float64 { return sim.MbToMB(mb) }
+
 // Multi-criteria selection (the paper's future-work criteria: energy and
 // monetary cost folded into the gain; see internal/criteria).
 type (
