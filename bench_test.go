@@ -129,9 +129,14 @@ func BenchmarkSmartEXP3Draw(b *testing.B) {
 
 // BenchmarkRunnerReplications measures the parallel experiment runner end
 // to end: fanning seeded replications of a small Setting 1 simulation over
-// the worker pool and merging results in deterministic run order.
+// the worker pool and merging results in deterministic run order. The
+// config is compiled into a sim.Engine once per batch and each worker owns
+// one pooled workspace — the standard batch shape since the zero-allocation
+// engine; the per-op work (8 seeded replications of a 5-device, 120-slot
+// Setting 1 run) is unchanged from the pre-engine baseline in
+// BENCH_runner.json, so ns/op and allocs/op are directly comparable.
 func BenchmarkRunnerReplications(b *testing.B) {
-	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+	for _, workers := range []int{1, 4, 0} { // 0 = GOMAXPROCS
 		name := fmt.Sprintf("workers=%d", workers)
 		if workers == 0 {
 			name = "workers=gomaxprocs"
@@ -146,14 +151,11 @@ func BenchmarkRunnerReplications(b *testing.B) {
 					Stream:  []int64{42},
 				}
 				var downloads float64
-				err := runner.Merge(batch,
-					func(run int, seed int64) (*sim.Result, error) {
-						return sim.Run(sim.Config{
-							Topology: netmodel.Setting1(),
-							Devices:  sim.UniformDevices(5, core.AlgSmartEXP3),
-							Slots:    120,
-							Seed:     seed,
-						})
+				err := sim.Replicate(batch,
+					sim.Config{
+						Topology: netmodel.Setting1(),
+						Devices:  sim.UniformDevices(5, core.AlgSmartEXP3),
+						Slots:    120,
 					},
 					func(_ int, res *sim.Result) error {
 						for d := range res.Devices {
@@ -162,6 +164,47 @@ func BenchmarkRunnerReplications(b *testing.B) {
 						return nil
 					})
 				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimReplication measures one warm replication through a pooled
+// workspace across population scales: 10 devices on Setting 1, and 100/500
+// devices spread over generated multi-area metropolitan topologies (the
+// 500-device case runs on the 204-network `large` preset). Steady-state
+// allocs/op must stay flat — a handful of objects for the returned Result
+// plus epoch bookkeeping, regardless of scale or replication count.
+func BenchmarkSimReplication(b *testing.B) {
+	cases := []struct {
+		devices int
+		topo    netmodel.Topology
+	}{
+		{10, netmodel.Setting1()},
+		{100, netmodel.Generate(netmodel.GenSpec{Areas: 10, APsPerArea: 3, Cells: 2, Overlap: 1})},
+		{500, netmodel.Large()},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("devices=%d", c.devices), func(b *testing.B) {
+			devs := sim.SpreadDevices(c.devices, core.AlgSmartEXP3, len(c.topo.Areas))
+			eng, err := sim.NewEngine(sim.Config{
+				Topology: c.topo,
+				Devices:  devs,
+				Slots:    200,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ws := eng.NewWorkspace()
+			if _, err := eng.Run(ws, 1); err != nil { // warm the workspace
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(ws, int64(i+2)); err != nil {
 					b.Fatal(err)
 				}
 			}

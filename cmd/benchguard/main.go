@@ -1,0 +1,136 @@
+// Command benchguard fails CI when a benchmark's allocations regress above
+// the recorded baseline. It reads `go test -bench -benchmem` output from
+// stdin, matches benchmark names against the baselines in BENCH_runner.json
+// (ignoring the -GOMAXPROCS suffix), and exits non-zero if any matched
+// benchmark allocates more than tolerance times its recorded allocs_per_op
+// (plus a small absolute slack for runtime noise on zero-alloc baselines).
+//
+// ns/op is deliberately not enforced: shared CI runners make timing too
+// noisy to gate on, while allocs/op is deterministic for a fixed workload.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'RunnerReplications|SimReplication' -benchtime 100x -benchmem . | go run ./cmd/benchguard
+//	go run ./cmd/benchguard -baseline BENCH_runner.json < bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baselineFile struct {
+	Benchmarks []struct {
+		Name        string  `json:"name"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchResult is one parsed benchmark output line.
+type benchResult struct {
+	name     string
+	allocsOp float64
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_runner.json", "baseline JSON file")
+		tolerance    = fs.Float64("tolerance", 1.25, "allowed allocs/op growth factor over baseline")
+		slack        = fs.Float64("slack", 4, "allowed absolute allocs/op growth over baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", *baselinePath, err)
+	}
+	ceilings := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		ceilings[b.Name] = b.AllocsPerOp
+	}
+
+	results, err := parseBenchOutput(in)
+	if err != nil {
+		return err
+	}
+
+	matched, failed := 0, 0
+	for _, r := range results {
+		baseline, ok := ceilings[r.name]
+		if !ok {
+			fmt.Fprintf(out, "SKIP  %s: no recorded baseline\n", r.name)
+			continue
+		}
+		matched++
+		limit := baseline**tolerance + *slack
+		if r.allocsOp > limit {
+			failed++
+			fmt.Fprintf(out, "FAIL  %s: %.0f allocs/op exceeds baseline %.0f (limit %.0f)\n",
+				r.name, r.allocsOp, baseline, limit)
+		} else {
+			fmt.Fprintf(out, "ok    %s: %.0f allocs/op (baseline %.0f)\n", r.name, r.allocsOp, baseline)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark in the input matched a recorded baseline — name drift?")
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed allocs/op", failed)
+	}
+	return nil
+}
+
+// parseBenchOutput extracts (name, allocs/op) pairs from `go test -bench
+// -benchmem` output. Lines look like:
+//
+//	BenchmarkFoo/case=1-8    100    123456 ns/op    1072 B/op    8 allocs/op
+//
+// The trailing -N of the name is the GOMAXPROCS suffix and is stripped so
+// names match baselines recorded on machines with different core counts.
+func parseBenchOutput(in io.Reader) ([]benchResult, error) {
+	var out []benchResult
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "allocs/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %q: bad allocs/op %q", sc.Text(), fields[i])
+				}
+				out = append(out, benchResult{name: name, allocsOp: v})
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}

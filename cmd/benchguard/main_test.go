@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `{
+  "benchmarks": [
+    {"name": "BenchmarkSimReplication/devices=10", "allocs_per_op": 8},
+    {"name": "BenchmarkRunnerReplications/workers=1", "allocs_per_op": 312},
+    {"name": "BenchmarkZeroAlloc", "allocs_per_op": 0}
+  ]
+}`
+
+const sampleOutput = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimReplication/devices=10-8    100    341442 ns/op    1816 B/op    8 allocs/op
+BenchmarkRunnerReplications/workers=1   100    1022272 ns/op   50618 B/op   312 allocs/op
+BenchmarkZeroAlloc-4                    100    10 ns/op        0 B/op       2 allocs/op
+BenchmarkUnknownThing-8                 100    10 ns/op        0 B/op       9999 allocs/op
+PASS
+`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	if results[0].name != "BenchmarkSimReplication/devices=10" || results[0].allocsOp != 8 {
+		t.Fatalf("first result = %+v", results[0])
+	}
+	// Name without a GOMAXPROCS suffix stays intact (workers=1 ends in a
+	// digit but the -N suffix is absent).
+	if results[1].name != "BenchmarkRunnerReplications/workers=1" {
+		t.Fatalf("second result name = %q", results[1].name)
+	}
+}
+
+func TestGuardPassesWithinLimits(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t)}, strings.NewReader(sampleOutput), &sb)
+	if err != nil {
+		t.Fatalf("err = %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "SKIP  BenchmarkUnknownThing") {
+		t.Fatalf("unmatched benchmark not reported:\n%s", sb.String())
+	}
+}
+
+func TestGuardFailsOnRegression(t *testing.T) {
+	regressed := strings.ReplaceAll(sampleOutput, "8 allocs/op", "700 allocs/op")
+	var sb strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t)}, strings.NewReader(regressed), &sb)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("err = %v, want regression failure\n%s", err, sb.String())
+	}
+}
+
+func TestGuardFailsWhenNothingMatches(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t)},
+		strings.NewReader("BenchmarkRenamed-8 10 5 ns/op 0 B/op 0 allocs/op\n"), &sb)
+	if err == nil || !strings.Contains(err.Error(), "matched") {
+		t.Fatalf("err = %v, want no-match failure", err)
+	}
+}
+
+func TestGuardZeroAllocSlack(t *testing.T) {
+	// A zero-alloc baseline tolerates the small absolute slack (runtime
+	// noise) but not more.
+	var sb strings.Builder
+	if err := run([]string{"-baseline", writeBaseline(t)},
+		strings.NewReader("BenchmarkZeroAlloc-4 100 10 ns/op 0 B/op 4 allocs/op\n"), &sb); err != nil {
+		t.Fatalf("within slack should pass: %v", err)
+	}
+	sb.Reset()
+	if err := run([]string{"-baseline", writeBaseline(t)},
+		strings.NewReader("BenchmarkZeroAlloc-4 100 10 ns/op 0 B/op 5 allocs/op\n"), &sb); err == nil {
+		t.Fatal("beyond slack should fail")
+	}
+}

@@ -51,7 +51,7 @@ var algorithmsByName = map[string]smartexp3.Algorithm{
 func run(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	var (
-		topoName  = fs.String("topology", "setting1", "setting1 | setting2 | foodcourt | uniform:<k>:<mbps>")
+		topoName  = fs.String("topology", "setting1", "setting1 | setting2 | foodcourt | uniform:<k>:<mbps> | large | metro:<areas>:<aps>:<cells>")
 		algName   = fs.String("algorithm", "smart", "exp3|block|hybrid|smartnr|smart|greedy|fullinfo|fixed|centralized")
 		devices   = fs.Int("devices", 20, "number of devices")
 		slots     = fs.Int("slots", 1200, "number of 15 s time slots")
@@ -85,13 +85,19 @@ func run(args []string) error {
 		if !ok {
 			return fmt.Errorf("unknown algorithm %q", *algName)
 		}
-		topo, err := parseTopology(*topoName)
+		topo, generated, err := parseTopology(*topoName)
 		if err != nil {
 			return err
 		}
+		devs := smartexp3.UniformDevices(*devices, alg)
+		if generated {
+			// Generated metropolitan topologies have many service areas;
+			// spread the population over them round-robin.
+			devs = smartexp3.SpreadDevices(*devices, alg, len(topo.Areas))
+		}
 		cfg = smartexp3.SimConfig{
 			Topology: topo,
-			Devices:  smartexp3.UniformDevices(*devices, alg),
+			Devices:  devs,
 			Slots:    *slots,
 			Seed:     *seed,
 		}
@@ -172,12 +178,15 @@ func runReplicated(cfg smartexp3.SimConfig, runs, workers int) error {
 		atEps     []float64
 		stable    int
 	)
+	eng, err := smartexp3.NewSimEngine(cfg)
+	if err != nil {
+		return err
+	}
 	batch := runner.Replications{Runs: runs, Workers: workers, Seed: cfg.Seed}
-	err := runner.Merge(batch,
-		func(run int, seed int64) (*smartexp3.SimResult, error) {
-			c := cfg
-			c.Seed = seed
-			return smartexp3.Simulate(c)
+	err = runner.MergePooled(batch,
+		eng.NewWorkspace,
+		func(ws *smartexp3.SimWorkspace, run int, seed int64) (*smartexp3.SimResult, error) {
+			return eng.Run(ws, seed)
 		},
 		func(_ int, res *smartexp3.SimResult) error {
 			var dls []float64
@@ -208,29 +217,56 @@ func runReplicated(cfg smartexp3.SimConfig, runs, workers int) error {
 	return nil
 }
 
-func parseTopology(name string) (smartexp3.Topology, error) {
+// parseTopology resolves a -topology argument. The second return value
+// reports whether the topology is a generated multi-area one (the caller
+// then spreads devices over its areas).
+func parseTopology(name string) (smartexp3.Topology, bool, error) {
 	switch strings.ToLower(name) {
 	case "setting1":
-		return smartexp3.Setting1(), nil
+		return smartexp3.Setting1(), false, nil
 	case "setting2":
-		return smartexp3.Setting2(), nil
+		return smartexp3.Setting2(), false, nil
 	case "foodcourt":
-		return smartexp3.FoodCourt(), nil
+		return smartexp3.FoodCourt(), false, nil
+	case "large":
+		return smartexp3.LargeTopology(), true, nil
 	}
 	if rest, ok := strings.CutPrefix(strings.ToLower(name), "uniform:"); ok {
 		parts := strings.Split(rest, ":")
 		if len(parts) != 2 {
-			return smartexp3.Topology{}, fmt.Errorf("topology %q: want uniform:<k>:<mbps>", name)
+			return smartexp3.Topology{}, false, fmt.Errorf("topology %q: want uniform:<k>:<mbps>", name)
 		}
 		k, err := strconv.Atoi(parts[0])
 		if err != nil {
-			return smartexp3.Topology{}, fmt.Errorf("topology %q: bad network count: %w", name, err)
+			return smartexp3.Topology{}, false, fmt.Errorf("topology %q: bad network count: %w", name, err)
 		}
 		bw, err := strconv.ParseFloat(parts[1], 64)
 		if err != nil {
-			return smartexp3.Topology{}, fmt.Errorf("topology %q: bad bandwidth: %w", name, err)
+			return smartexp3.Topology{}, false, fmt.Errorf("topology %q: bad bandwidth: %w", name, err)
 		}
-		return smartexp3.UniformTopology(k, bw), nil
+		return smartexp3.UniformTopology(k, bw), false, nil
 	}
-	return smartexp3.Topology{}, fmt.Errorf("unknown topology %q", name)
+	if rest, ok := strings.CutPrefix(strings.ToLower(name), "metro:"); ok {
+		parts := strings.Split(rest, ":")
+		if len(parts) != 3 {
+			return smartexp3.Topology{}, false, fmt.Errorf("topology %q: want metro:<areas>:<aps>:<cells>", name)
+		}
+		var dims [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return smartexp3.Topology{}, false, fmt.Errorf("topology %q: bad dimension %q: %w", name, p, err)
+			}
+			dims[i] = v
+		}
+		spec := smartexp3.TopologySpec{Areas: dims[0], APsPerArea: dims[1], Cells: dims[2]}
+		if spec.APsPerArea > 0 && spec.Areas > 1 {
+			spec.Overlap = 1
+		}
+		if err := spec.Validate(); err != nil {
+			return smartexp3.Topology{}, false, err
+		}
+		return smartexp3.GenerateTopology(spec), true, nil
+	}
+	return smartexp3.Topology{}, false, fmt.Errorf("unknown topology %q", name)
 }

@@ -8,22 +8,28 @@ import (
 
 func TestParseTopology(t *testing.T) {
 	tests := []struct {
-		give     string
-		wantNets int
-		wantErr  bool
+		give       string
+		wantNets   int
+		wantErr    bool
+		wantSpread bool
 	}{
 		{give: "setting1", wantNets: 3},
 		{give: "SETTING2", wantNets: 3},
 		{give: "foodcourt", wantNets: 5},
 		{give: "uniform:5:11", wantNets: 5},
+		{give: "large", wantNets: 204, wantSpread: true},
+		{give: "metro:4:3:2", wantNets: 14, wantSpread: true},
 		{give: "uniform:bad", wantErr: true},
 		{give: "uniform:x:11", wantErr: true},
 		{give: "uniform:5:y", wantErr: true},
+		{give: "metro:4:3", wantErr: true},
+		{give: "metro:0:3:2", wantErr: true},
+		{give: "metro:a:3:2", wantErr: true},
 		{give: "mars", wantErr: true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.give, func(t *testing.T) {
-			top, err := parseTopology(tt.give)
+			top, spread, err := parseTopology(tt.give)
 			if tt.wantErr {
 				if err == nil {
 					t.Fatal("want error")
@@ -36,7 +42,21 @@ func TestParseTopology(t *testing.T) {
 			if len(top.Networks) != tt.wantNets {
 				t.Fatalf("got %d networks, want %d", len(top.Networks), tt.wantNets)
 			}
+			if spread != tt.wantSpread {
+				t.Fatalf("spread = %v, want %v", spread, tt.wantSpread)
+			}
+			if err := top.Validate(); err != nil {
+				t.Fatal(err)
+			}
 		})
+	}
+}
+
+// TestRunLargeTopology exercises the `-topology large` path end to end at a
+// small horizon: 204 networks, 40 areas, devices spread round-robin.
+func TestRunLargeTopology(t *testing.T) {
+	if err := run([]string{"-topology", "large", "-devices", "60", "-slots", "12", "-runs", "2"}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -43,6 +43,23 @@
 //		Seed:     1,
 //	})
 //
-// The examples directory contains four runnable programs exercising the
-// public API end to end.
+// For Monte Carlo batches, compile the configuration once and run many
+// seeded replications against it — the engine is immutable and shared, each
+// worker reuses one workspace, and warm replications allocate nothing
+// beyond their results:
+//
+//	eng, err := smartexp3.NewSimEngine(cfg)
+//	if err != nil { ... }
+//	ws := eng.NewWorkspace()
+//	for run := 0; run < runs; run++ {
+//		res, err := eng.Run(ws, seeds[run])
+//		...
+//	}
+//
+// Large generated topologies (hundreds of networks across tens of service
+// areas) come from GenerateTopology / LargeTopology with SpreadDevices;
+// see examples/largetopology.
+//
+// The examples directory contains runnable programs exercising the public
+// API end to end.
 package smartexp3

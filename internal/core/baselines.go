@@ -23,13 +23,23 @@ type Greedy struct {
 var (
 	_ Policy         = (*Greedy)(nil)
 	_ SwitchReporter = (*Greedy)(nil)
+	_ Reinitializer  = (*Greedy)(nil)
 )
 
 // NewGreedy constructs a Greedy policy over the given global network ids.
 func NewGreedy(available []int, rng *rand.Rand) *Greedy {
-	g := &Greedy{rng: rng, cur: -1, last: -1}
-	g.rebuild(sortedCopy(available), nil, nil)
+	g := &Greedy{}
+	g.Reinit(available, rng)
 	return g
+}
+
+// Reinit implements Reinitializer.
+func (g *Greedy) Reinit(available []int, rng *rand.Rand) {
+	g.rng = rng
+	g.cur, g.last = -1, -1
+	g.switches = 0
+	g.explore = g.explore[:0]
+	g.rebuild(sortedInto(g.available, available), nil, nil)
 }
 
 // Name implements Policy.
@@ -90,9 +100,13 @@ func (g *Greedy) rebuild(next []int, sums map[int]float64, cnts map[int]int) {
 		}
 	}
 	g.available = next
-	g.index = make(map[int]int, len(next))
-	g.sumGain = make([]float64, len(next))
-	g.cntGain = make([]int, len(next))
+	if g.index == nil {
+		g.index = make(map[int]int, len(next))
+	} else {
+		clear(g.index)
+	}
+	g.sumGain = resizeFloats(g.sumGain, len(next))
+	g.cntGain = resizeInts(g.cntGain, len(next))
 	g.explore = g.explore[:0]
 	for li, id := range next {
 		g.index[id] = li
@@ -152,13 +166,22 @@ var (
 	_ FullFeedbackPolicy  = (*FullInformation)(nil)
 	_ ProbabilityReporter = (*FullInformation)(nil)
 	_ SwitchReporter      = (*FullInformation)(nil)
+	_ Reinitializer       = (*FullInformation)(nil)
 )
 
 // NewFullInformation constructs the full-feedback baseline.
 func NewFullInformation(available []int, rng *rand.Rand) *FullInformation {
-	f := &FullInformation{rng: rng, cur: -1, last: -1}
-	f.rebuildFull(sortedCopy(available), nil)
+	f := &FullInformation{}
+	f.Reinit(available, rng)
 	return f
+}
+
+// Reinit implements Reinitializer.
+func (f *FullInformation) Reinit(available []int, rng *rand.Rand) {
+	f.rng = rng
+	f.cur, f.last = -1, -1
+	f.slot, f.switches = 0, 0
+	f.rebuildFull(sortedInto(f.available, available), nil)
 }
 
 // Name implements Policy.
@@ -235,9 +258,13 @@ func (f *FullInformation) SetAvailable(networks []int) {
 
 func (f *FullInformation) rebuildFull(next []int, prior map[int]float64) {
 	f.available = next
-	f.index = make(map[int]int, len(next))
-	f.logW = make([]float64, len(next))
-	f.probs = make([]float64, len(next))
+	if f.index == nil {
+		f.index = make(map[int]int, len(next))
+	} else {
+		clear(f.index)
+	}
+	f.logW = resizeFloats(f.logW, len(next))
+	f.probs = resizeFloats(f.probs, len(next))
 	for li, id := range next {
 		f.index[id] = li
 		if lw, ok := prior[id]; ok {
@@ -274,11 +301,23 @@ type FixedRandom struct {
 	choice    int // global id, -1 until first Select
 }
 
-var _ Policy = (*FixedRandom)(nil)
+var (
+	_ Policy        = (*FixedRandom)(nil)
+	_ Reinitializer = (*FixedRandom)(nil)
+)
 
 // NewFixedRandom constructs the fixed-random baseline.
 func NewFixedRandom(available []int, rng *rand.Rand) *FixedRandom {
-	return &FixedRandom{rng: rng, available: sortedCopy(available), choice: -1}
+	r := &FixedRandom{}
+	r.Reinit(available, rng)
+	return r
+}
+
+// Reinit implements Reinitializer.
+func (r *FixedRandom) Reinit(available []int, rng *rand.Rand) {
+	r.rng = rng
+	r.available = sortedInto(r.available, available)
+	r.choice = -1
 }
 
 // Name implements Policy.

@@ -43,6 +43,24 @@ type Policy interface {
 	Available() []int
 }
 
+// Reinitializer is implemented by policies that can be returned, in place,
+// to the state their constructor would produce over a (possibly different)
+// availability set, reusing every internal buffer. The simulation engine's
+// pooled workspaces call Reinit instead of constructing fresh policies, so
+// replications run without per-replication allocation.
+//
+// Reinit must be behaviorally indistinguishable from constructing a new
+// policy with the same arguments: given the same availability set and an
+// identically seeded rng, the reinitialized policy must produce the same
+// Select/Observe trajectory bit for bit. All policies in this package
+// implement it.
+type Reinitializer interface {
+	Policy
+	// Reinit resets the policy to its freshly constructed state over the
+	// given networks, drawing all future randomness from rng.
+	Reinit(available []int, rng *rand.Rand)
+}
+
 // ProbabilityReporter is implemented by policies that maintain an explicit
 // selection distribution (the EXP3 family and Full Information). It feeds
 // stable-state detection (Definition 2).
@@ -216,12 +234,26 @@ func DefaultConfig() Config {
 }
 
 // DecayingGamma is the paper's exploration schedule γ(b) = b^{-1/3}.
+// Every policy evaluates it once per block, so the low block indices —
+// where short blocks make starts frequent — are served from a table
+// precomputed with the same math.Pow call.
 func DecayingGamma(block int) float64 {
 	if block < 1 {
 		block = 1
 	}
+	if block < len(decayingGammaTab) {
+		return decayingGammaTab[block]
+	}
 	return math.Pow(float64(block), -1.0/3.0)
 }
+
+var decayingGammaTab = func() [512]float64 {
+	var tab [512]float64
+	for b := 1; b < len(tab); b++ {
+		tab[b] = math.Pow(float64(b), -1.0/3.0)
+	}
+	return tab
+}()
 
 // FixedGamma returns a constant exploration schedule, used by the theoretical
 // analysis (Theorems 1–3 assume fixed γ) and by ablation benchmarks.
@@ -296,6 +328,15 @@ func sortedCopy(xs []int) []int {
 	copy(out, xs)
 	sort.Ints(out)
 	return out
+}
+
+// sortedInto copies xs into dst's backing array (growing it as needed) and
+// sorts the result ascending. Reinit paths use it to avoid the allocation of
+// sortedCopy; xs may alias dst.
+func sortedInto(dst, xs []int) []int {
+	dst = append(dst[:0], xs...)
+	sort.Ints(dst)
+	return dst
 }
 
 func equalInts(a, b []int) bool {

@@ -30,9 +30,13 @@ type SmartEXP3 struct {
 	// probsValid records whether probs reflects the current (weights, γ);
 	// the full O(k) fill only happens when something reads the whole
 	// distribution, so policies without reset/greedy features (classic
-	// EXP3) never pay it on the draw path.
+	// EXP3) never pay it on the draw path. The fill also records the
+	// distribution's argmax (first index), max and min, which the periodic
+	// reset and greedy-eligibility checks consult every block start.
 	probsValid bool
-	explore    []int // local indices pending initial exploration
+	iPlus      int     // argmax of probs (lowest index on ties)
+	maxP, minP float64 // max and min of probs
+	explore    []int   // local indices pending initial exploration
 
 	// Current block.
 	blockIdx  int     // b, counts blocks started (1-based)
@@ -69,6 +73,12 @@ type SmartEXP3 struct {
 	dropRef   float64
 	dropCount int
 
+	// blockLens memoizes BlockLength(cfg.Beta, x) by x: the schedule is a
+	// pure function of β, consulted several times per block (start, greedy
+	// eligibility, periodic reset), and math.Pow is the hot loop's most
+	// expensive call. It survives Reinit.
+	blockLens []int
+
 	// Counters.
 	resets      int
 	switches    int
@@ -82,25 +92,44 @@ var (
 	_ ProbabilityReporter = (*SmartEXP3)(nil)
 	_ ResetReporter       = (*SmartEXP3)(nil)
 	_ SwitchReporter      = (*SmartEXP3)(nil)
+	_ Reinitializer       = (*SmartEXP3)(nil)
 )
 
 // NewSmartEXP3 constructs the engine with an explicit feature set. Most
 // callers should use New with one of the named algorithms instead; this
 // constructor exists for ablation studies.
 func NewSmartEXP3(name string, feat Features, available []int, cfg Config, rng *rand.Rand) *SmartEXP3 {
-	p := &SmartEXP3{
-		name:       name,
-		feat:       feat,
-		cfg:        cfg,
-		rng:        rng,
-		cur:        -1,
-		prevNet:    -1,
-		pendingSB:  -1,
-		lastGlobal: -1,
-		needBlock:  true,
-	}
-	p.rebuild(sortedCopy(available), nil)
+	p := &SmartEXP3{name: name, feat: feat, cfg: cfg}
+	p.Reinit(available, rng)
 	return p
+}
+
+// Reinit implements Reinitializer: every field except the identity (name,
+// features, config) is returned to its constructor state and the per-network
+// state is rebuilt over the given availability set, reusing all buffers.
+func (p *SmartEXP3) Reinit(available []int, rng *rand.Rand) {
+	p.rng = rng
+	p.cur, p.prevNet, p.pendingSB, p.lastGlobal = -1, -1, -1, -1
+	p.needBlock = true
+	p.blockIdx, p.blockLen, p.slotIn = 0, 0, 0
+	p.gamma, p.selProb, p.blockGain = 0, 0, 0
+	// Pre-size the trailing windows and the block-length memo so pooled
+	// reuse reaches its steady state immediately instead of growing
+	// capacity whenever one run's randomness explores a new maximum.
+	if cap(p.window) < p.cfg.SwitchBackWindow {
+		p.window = make([]float64, 0, p.cfg.SwitchBackWindow)
+		p.prevWindow = make([]float64, 0, p.cfg.SwitchBackWindow)
+	}
+	p.blockLength(64)
+	p.window = p.window[:0]
+	p.prevWindow = p.prevWindow[:0]
+	p.curIsSB, p.prevWasSB = false, false
+	p.explore = p.explore[:0]
+	p.condAFailed, p.greedyWasEligible = false, false
+	p.yThreshold = 0
+	p.dropRef, p.dropCount = 0, 0
+	p.resets, p.switches, p.switchBacks, p.totalSlots = 0, 0, 0, 0
+	p.rebuild(sortedInto(p.available, available), nil)
 }
 
 // Name implements Policy.
@@ -116,13 +145,23 @@ func (p *SmartEXP3) Probabilities() []float64 {
 	return p.probs
 }
 
-// ensureProbs refreshes the cached distribution if weights or γ moved since
-// it was last computed.
+// ensureProbs refreshes the cached distribution — and its argmax/extrema —
+// if weights or γ moved since it was last computed.
 func (p *SmartEXP3) ensureProbs() {
-	if !p.probsValid {
-		p.w.fill(p.probs, p.gamma)
-		p.probsValid = true
+	if p.probsValid {
+		return
 	}
+	p.w.fill(p.probs, p.gamma)
+	p.iPlus, p.maxP, p.minP = 0, p.probs[0], p.probs[0]
+	for li := 1; li < p.k; li++ {
+		if p.probs[li] > p.maxP {
+			p.maxP, p.iPlus = p.probs[li], li
+		}
+		if p.probs[li] < p.minP {
+			p.minP = p.probs[li]
+		}
+	}
+	p.probsValid = true
 }
 
 // armProb returns the selection probability of one arm in O(1), without
@@ -164,9 +203,13 @@ func (p *SmartEXP3) Observe(gain float64) {
 	p.sumGain[p.cur] += gain
 	p.cntGain[p.cur]++
 	p.blockGain += gain
-	p.window = append(p.window, gain)
-	if len(p.window) > p.cfg.SwitchBackWindow {
-		p.window = p.window[1:]
+	// Trailing-window update by copy-shift: reslicing the head off would
+	// erode the buffer's capacity and force a reallocation every few blocks.
+	if len(p.window) < p.cfg.SwitchBackWindow {
+		p.window = append(p.window, gain)
+	} else {
+		copy(p.window, p.window[1:])
+		p.window[len(p.window)-1] = gain
 	}
 	p.slotIn++
 
@@ -303,13 +346,17 @@ func (p *SmartEXP3) rebuild(next []int, prior map[int]netState) {
 	k := len(next)
 	p.available = next
 	p.k = k
-	p.index = make(map[int]int, k)
-	logW := make([]float64, k)
-	p.probs = make([]float64, k)
-	p.x = make([]int, k)
-	p.sumGain = make([]float64, k)
-	p.cntGain = make([]int, k)
-	p.slotsOn = make([]int, k)
+	if p.index == nil {
+		p.index = make(map[int]int, k)
+	} else {
+		clear(p.index)
+	}
+	logW := p.w.reset(k)
+	p.probs = resizeFloats(p.probs, k)
+	p.x = resizeInts(p.x, k)
+	p.sumGain = resizeFloats(p.sumGain, k)
+	p.cntGain = resizeInts(p.cntGain, k)
+	p.slotsOn = resizeInts(p.slotsOn, k)
 	p.explore = p.explore[:0]
 
 	for li, id := range next {
@@ -331,8 +378,9 @@ func (p *SmartEXP3) rebuild(next []int, prior map[int]netState) {
 			}
 		}
 	}
-	p.w.seed(logW)
+	p.w.reshift()
 	// probs holds the uniform placeholder until the next block start.
+	p.iPlus, p.maxP, p.minP = 0, 1/float64(k), 1/float64(k)
 	p.probsValid = true
 
 	if p.feat.ExploreFirst {
@@ -402,7 +450,7 @@ func (p *SmartEXP3) startBlock() {
 
 	p.blockLen = 1
 	if p.feat.Blocking {
-		p.blockLen = BlockLength(p.cfg.Beta, p.x[p.cur])
+		p.blockLen = p.blockLength(p.x[p.cur])
 	}
 	p.x[p.cur]++
 	p.blockGain = 0
@@ -440,17 +488,8 @@ func (p *SmartEXP3) greedyEligible() bool {
 		return false
 	}
 	p.ensureProbs()
-	iPlus, maxP, minP := 0, p.probs[0], p.probs[0]
-	for li := 1; li < p.k; li++ {
-		if p.probs[li] > maxP {
-			maxP, iPlus = p.probs[li], li
-		}
-		if p.probs[li] < minP {
-			minP = p.probs[li]
-		}
-	}
-	lenPlus := BlockLength(p.cfg.Beta, p.x[iPlus])
-	condA := maxP-minP <= 1/float64(p.k-1)
+	lenPlus := p.blockLength(p.x[p.iPlus])
+	condA := p.maxP-p.minP <= 1/float64(p.k-1)
 	if !condA && !p.condAFailed {
 		p.condAFailed = true
 		p.yThreshold = lenPlus
@@ -517,8 +556,10 @@ func (p *SmartEXP3) switchBackTriggers(gain float64) bool {
 // slots. The reference average is frozen when the drop starts so that the
 // drop itself cannot mask the decline.
 func (p *SmartEXP3) checkQualityDrop(gain float64) bool {
-	if p.cur != p.iMax() || p.cntGain[p.cur] < 2 ||
-		p.cntGain[p.cur] <= p.cfg.MinDropObservations {
+	// Cheap observation-count guards run before the O(k) i_max scan; the
+	// disjunction is side-effect free, so the order only affects cost.
+	if p.cntGain[p.cur] < 2 || p.cntGain[p.cur] <= p.cfg.MinDropObservations ||
+		p.cur != p.iMax() {
 		p.dropCount = 0
 		return false
 	}
@@ -538,6 +579,15 @@ func (p *SmartEXP3) checkQualityDrop(gain float64) bool {
 	return false
 }
 
+// blockLength memoizes BlockLength over the block counter x, which only
+// grows by one per block per network.
+func (p *SmartEXP3) blockLength(x int) int {
+	for len(p.blockLens) <= x {
+		p.blockLens = append(p.blockLens, BlockLength(p.cfg.Beta, len(p.blockLens)))
+	}
+	return p.blockLens[x]
+}
+
 // iMax returns the network the device has been connected to for the most
 // slots (i_max in Section V).
 func (p *SmartEXP3) iMax() int {
@@ -554,14 +604,8 @@ func (p *SmartEXP3) iMax() int {
 // p_{i+} ≥ ResetProbability and l_{i+} ≥ ResetBlockLength.
 func (p *SmartEXP3) periodicResetDue() bool {
 	p.ensureProbs()
-	iPlus, maxP := 0, p.probs[0]
-	for li := 1; li < p.k; li++ {
-		if p.probs[li] > maxP {
-			iPlus, maxP = li, p.probs[li]
-		}
-	}
-	return maxP >= p.cfg.ResetProbability &&
-		BlockLength(p.cfg.Beta, p.x[iPlus]) >= p.cfg.ResetBlockLength
+	return p.maxP >= p.cfg.ResetProbability &&
+		p.blockLength(p.x[p.iPlus]) >= p.cfg.ResetBlockLength
 }
 
 // performReset applies the minimal reset: block lengths and the statistics
@@ -578,7 +622,7 @@ func (p *SmartEXP3) performReset() {
 	p.dropCount = 0
 	p.pendingSB = -1
 	p.prevNet = -1
-	p.prevWindow = nil
+	p.prevWindow = p.prevWindow[:0]
 	p.prevWasSB = false
 	if p.feat.ExploreFirst {
 		p.explore = p.explore[:0]

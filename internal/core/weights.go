@@ -36,13 +36,40 @@ type weightSet struct {
 // 2e130, far from the float64 overflow point even summed over many arms.
 const weightReshiftSpan = 300
 
-// seed replaces the weight state with the given log-weights (ownership of
-// the slice transfers to the set).
-func (w *weightSet) seed(logW []float64) {
-	w.logW = logW
-	w.wExp = make([]float64, len(logW))
-	w.tree = make([]float64, len(logW)+1)
-	w.reshift()
+// reset resizes the set to k arms reusing the existing buffers and returns
+// the zeroed log-weight slice for the caller to fill; the caller must then
+// call reshift. Pooled policies use this to re-seed weights without
+// allocating.
+func (w *weightSet) reset(k int) []float64 {
+	w.logW = resizeFloats(w.logW, k)
+	w.wExp = resizeFloats(w.wExp, k)
+	w.tree = resizeFloats(w.tree, k+1)
+	return w.logW
+}
+
+// resizeFloats returns a zeroed float slice of length n, reusing s's backing
+// array when it is large enough.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// resizeInts is resizeFloats for int slices.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // reshift renormalizes the linear-space view around the current maximum

@@ -137,14 +137,71 @@ const maxTruncAttempts = 64
 
 // Sample implements Sampler.
 func (t Truncated) Sample(rng *rand.Rand) float64 {
+	return truncated(t.S.Sample, t.Low, t.High, rng)
+}
+
+// truncated is the rejection loop of Truncated over an explicit draw
+// function, shared between the interface path and the devirtualized batch
+// path so both produce identical streams.
+func truncated(draw func(*rand.Rand) float64, low, high float64, rng *rand.Rand) float64 {
 	var x float64
 	for i := 0; i < maxTruncAttempts; i++ {
-		x = t.S.Sample(rng)
-		if x >= t.Low && x <= t.High {
+		x = draw(rng)
+		if x >= low && x <= high {
 			return x
 		}
 	}
-	return math.Min(math.Max(x, t.Low), t.High)
+	return math.Min(math.Max(x, low), high)
+}
+
+// SampleInto fills dst[i] with one draw from s using rngs[i], i.e. one
+// independent sample per device stream. The simulator batches all switching
+// devices of one technology into a single SampleInto call per slot, so the
+// slot loop pays one dynamic dispatch per technology rather than one per
+// switch; the known concrete samplers are devirtualized below and their
+// draw loops inline. Each draw consumes exactly what s.Sample(rngs[i])
+// would, so per-device random streams are unchanged by batching.
+func SampleInto(s Sampler, rngs []*rand.Rand, dst []float64) {
+	switch c := s.(type) {
+	case Truncated:
+		// The default delay models are Truncated{JohnsonSU} and
+		// Truncated{StudentT}; specializing the inner sampler removes the
+		// second dispatch layer from the rejection loop.
+		switch inner := c.S.(type) {
+		case JohnsonSU:
+			for i, rng := range rngs {
+				dst[i] = truncated(inner.Sample, c.Low, c.High, rng)
+			}
+		case StudentT:
+			for i, rng := range rngs {
+				dst[i] = truncated(inner.Sample, c.Low, c.High, rng)
+			}
+		default:
+			for i, rng := range rngs {
+				dst[i] = c.Sample(rng)
+			}
+		}
+	case Constant:
+		for i := range rngs {
+			dst[i] = c.Value
+		}
+	case Uniform:
+		for i, rng := range rngs {
+			dst[i] = c.Sample(rng)
+		}
+	case Normal:
+		for i, rng := range rngs {
+			dst[i] = c.Sample(rng)
+		}
+	case Exponential:
+		for i, rng := range rngs {
+			dst[i] = c.Sample(rng)
+		}
+	default:
+		for i, rng := range rngs {
+			dst[i] = s.Sample(rng)
+		}
+	}
 }
 
 // DefaultWiFiDelay returns the Section II-B switching-to-WiFi delay model:

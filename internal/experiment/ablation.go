@@ -6,7 +6,6 @@ import (
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
-	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 	"smartexp3/internal/stats"
 )
@@ -63,18 +62,15 @@ func runAblation(o Options) (*report.Report, error) {
 			fairness []float64
 			lateDist []float64
 		)
-		err := runner.Merge(o.replications(o.Runs, 1600, int64(vi)),
-			func(run int, seed int64) (*sim.Result, error) {
-				return sim.Run(sim.Config{
-					Topology: netmodel.Setting1(),
-					Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3),
-					Slots:    o.Slots,
-					Seed:     seed,
-					Collect:  sim.CollectOptions{Distance: true},
-					PolicyFactory: func(_ int, available []int, rng *rand.Rand) (core.Policy, error) {
-						return core.NewSmartEXP3(variant.name, feat, available, core.DefaultConfig(), rng), nil
-					},
-				})
+		err := sim.Replicate(o.replications(o.Runs, 1600, int64(vi)),
+			sim.Config{
+				Topology: netmodel.Setting1(),
+				Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3),
+				Slots:    o.Slots,
+				Collect:  sim.CollectOptions{Distance: true},
+				PolicyFactory: func(_ int, available []int, rng *rand.Rand) (core.Policy, error) {
+					return core.NewSmartEXP3(variant.name, feat, available, core.DefaultConfig(), rng), nil
+				},
 			},
 			func(_ int, res *sim.Result) error {
 				var dls []float64

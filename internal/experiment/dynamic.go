@@ -137,10 +137,8 @@ func dynamicAggFor(o Options, scenario int, alg core.Algorithm) (*dynamicAgg, er
 				agg.GroupDistance[g] = stats.NewSeries(o.Slots)
 			}
 		}
-		err := runner.Merge(o.replications(o.Runs, 700, int64(scenario), int64(alg)),
-			func(run int, seed int64) (*sim.Result, error) {
-				return sim.Run(dynamicConfig(scenario, o, alg, seed))
-			},
+		err := sim.Replicate(o.replications(o.Runs, 700, int64(scenario), int64(alg)),
+			dynamicConfig(scenario, o, alg, 0),
 			func(_ int, res *sim.Result) error {
 				agg.Distance.AddRun(res.Distance)
 				for g := range agg.GroupDistance {
@@ -311,16 +309,13 @@ func runFig11(o Options) (*report.Report, error) {
 		}
 		smartSeries := stats.NewSeries(o.Slots)
 		greedySeries := stats.NewSeries(o.Slots)
-		err := runner.Merge(o.replications(o.Runs, 1100, int64(si)),
-			func(run int, seed int64) (*sim.Result, error) {
-				return sim.Run(sim.Config{
-					Topology:     netmodel.Setting1(),
-					Devices:      devices,
-					Slots:        o.Slots,
-					Seed:         seed,
-					DeviceGroups: [][]int{smartGroup, greedyGroup},
-					Collect:      sim.CollectOptions{Distance: true},
-				})
+		err := sim.Replicate(o.replications(o.Runs, 1100, int64(si)),
+			sim.Config{
+				Topology:     netmodel.Setting1(),
+				Devices:      devices,
+				Slots:        o.Slots,
+				DeviceGroups: [][]int{smartGroup, greedyGroup},
+				Collect:      sim.CollectOptions{Distance: true},
 			},
 			func(_ int, res *sim.Result) error {
 				smartSeries.AddRun(res.GroupDistance[0])

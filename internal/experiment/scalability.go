@@ -6,7 +6,6 @@ import (
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
-	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 )
 
@@ -46,15 +45,12 @@ func runFig6(o Options) (*report.Report, error) {
 			stable   int
 			atNE     int
 		)
-		err := runner.Merge(o.replications(o.ScaleRuns, 600, int64(ci)),
-			func(run int, seed int64) (*sim.Result, error) {
-				return sim.Run(sim.Config{
-					Topology: netmodel.Uniform(c.networks, 11),
-					Devices:  sim.UniformDevices(c.devices, core.AlgSmartEXP3NoReset),
-					Slots:    o.ScaleSlots,
-					Seed:     seed,
-					Collect:  sim.CollectOptions{Probabilities: true},
-				})
+		err := sim.Replicate(o.replications(o.ScaleRuns, 600, int64(ci)),
+			sim.Config{
+				Topology: netmodel.Uniform(c.networks, 11),
+				Devices:  sim.UniformDevices(c.devices, core.AlgSmartEXP3NoReset),
+				Slots:    o.ScaleSlots,
+				Collect:  sim.CollectOptions{Probabilities: true},
 			},
 			func(_ int, res *sim.Result) error {
 				if res.StabilityValid && res.Stability.Stable {

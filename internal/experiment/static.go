@@ -66,15 +66,12 @@ func staticAggFor(o Options, setting int, alg core.Algorithm) (*staticAgg, error
 			Devices:  o.Devices,
 			Distance: stats.NewSeries(o.Slots),
 		}
-		err := runner.Merge(o.replications(o.Runs, int64(setting), int64(alg)),
-			func(run int, seed int64) (*sim.Result, error) {
-				return sim.Run(sim.Config{
-					Topology: settingTopology(setting),
-					Devices:  sim.UniformDevices(o.Devices, alg),
-					Slots:    o.Slots,
-					Seed:     seed,
-					Collect:  sim.CollectOptions{Distance: true, Probabilities: true},
-				})
+		err := sim.Replicate(o.replications(o.Runs, int64(setting), int64(alg)),
+			sim.Config{
+				Topology: settingTopology(setting),
+				Devices:  sim.UniformDevices(o.Devices, alg),
+				Slots:    o.Slots,
+				Collect:  sim.CollectOptions{Distance: true, Probabilities: true},
 			},
 			func(_ int, res *sim.Result) error {
 				mergeStatic(agg, res)

@@ -6,7 +6,6 @@ import (
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
-	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 	"smartexp3/internal/stats"
 )
@@ -36,14 +35,11 @@ func runTheorem2(o Options) (*report.Report, error) {
 			if runs < 4 {
 				runs = 4
 			}
-			err := runner.Merge(o.replications(runs, 1500, int64(k), int64(T)),
-				func(run int, seed int64) (*sim.Result, error) {
-					return sim.Run(sim.Config{
-						Topology: netmodel.Uniform(k, 11),
-						Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3NoReset),
-						Slots:    T,
-						Seed:     seed,
-					})
+			err := sim.Replicate(o.replications(runs, 1500, int64(k), int64(T)),
+				sim.Config{
+					Topology: netmodel.Uniform(k, 11),
+					Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3NoReset),
+					Slots:    T,
 				},
 				func(_ int, res *sim.Result) error {
 					for d := range res.Devices {

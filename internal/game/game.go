@@ -256,6 +256,14 @@ func (in Instance) IsNashAssignment(assign []int) bool {
 	for _, i := range assign {
 		counts[i]++
 	}
+	return in.IsNashAssignmentWithCounts(assign, counts)
+}
+
+// IsNashAssignmentWithCounts is IsNashAssignment with the per-network
+// occupancy counts supplied by the caller (counts[i] devices on network i
+// under assign). The simulator's slot loop already maintains these counts,
+// so handing them in avoids an allocation per slot.
+func (in Instance) IsNashAssignmentWithCounts(assign, counts []int) bool {
 	const eps = 1e-12
 	for d, dev := range in.Devices {
 		cur := assign[d]

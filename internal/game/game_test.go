@@ -340,3 +340,30 @@ func TestPrepareRejectsInvalidInstance(t *testing.T) {
 		t.Fatal("want validation error")
 	}
 }
+
+// TestPrepareGroupsRespectMultiplicity: availability sets are multisets —
+// [0,0,1] and [0,1,2] have equal lengths and overlapping members but must
+// land in distinct Definition 3 groups.
+func TestPrepareGroupsRespectMultiplicity(t *testing.T) {
+	in := Instance{
+		Bandwidths: []float64{10, 10, 10},
+		Devices: []Device{
+			{Available: []int{0, 0, 1}},
+			{Available: []int{0, 1, 2}},
+			{Available: []int{1, 0, 2}}, // same set as device 1, reordered
+		},
+	}
+	p, err := Prepare(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.nGroups != 2 {
+		t.Fatalf("nGroups = %d, want 2 (duplicate-id set must stay separate)", p.nGroups)
+	}
+	if p.groupOf[0] == p.groupOf[1] {
+		t.Fatal("[0,0,1] grouped with [0,1,2]")
+	}
+	if p.groupOf[1] != p.groupOf[2] {
+		t.Fatal("order-insensitive grouping broken: [0,1,2] vs [1,0,2]")
+	}
+}

@@ -2,7 +2,7 @@ package game
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // PreparedNE caches the Nash-equilibrium solution of an Instance so that the
@@ -10,26 +10,73 @@ import (
 // recomputes the NE only when the set of active devices or an availability
 // set changes (an "epoch"), and evaluates Distance every slot.
 type PreparedNE struct {
-	shares []float64 // per-device gain at the cached NE assignment
-	sigs   []string  // availability signature per device
-	assign []int     // the cached NE assignment
+	shares  []float64 // per-device gain at the cached NE assignment
+	groupOf []int     // availability-group id per device (first-occurrence order)
+	nGroups int
+	assign  []int // the cached NE assignment
 }
 
-// Prepare solves the instance once and returns the cached solution.
+// Prepare solves the instance once and returns the cached solution. Devices
+// are partitioned into availability groups (identical availability sets) in
+// first-occurrence order; Definition 3 rank-matches gains within each group.
 func Prepare(in Instance) (*PreparedNE, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	assign := in.NashAssignment()
 	p := &PreparedNE{
-		shares: in.SharesOf(assign),
-		sigs:   make([]string, len(in.Devices)),
-		assign: assign,
+		shares:  in.SharesOf(assign),
+		groupOf: make([]int, len(in.Devices)),
+		assign:  assign,
 	}
+	// Group devices by availability set. The scan is quadratic in the number
+	// of distinct groups, which is small (a topology has few areas); it
+	// avoids the per-device string signatures the previous implementation
+	// allocated.
+	reps := make([][]int, 0, 4)
 	for d, dev := range in.Devices {
-		p.sigs[d] = signature(dev.Available)
+		g := -1
+		for i, rep := range reps {
+			if sameAvailability(rep, dev.Available) {
+				g = i
+				break
+			}
+		}
+		if g < 0 {
+			g = len(reps)
+			reps = append(reps, dev.Available)
+		}
+		p.groupOf[d] = g
 	}
+	p.nGroups = len(reps)
 	return p, nil
+}
+
+// sameAvailability reports whether two availability sets contain the same
+// networks with the same multiplicities (topology validation does not
+// forbid duplicate ids within an area). The quadratic count-compare avoids
+// allocating; availability sets are small.
+func sameAvailability(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		ca, cb := 0, 0
+		for _, y := range a {
+			if y == x {
+				ca++
+			}
+		}
+		for _, y := range b {
+			if y == x {
+				cb++
+			}
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
 }
 
 // Assignment returns the cached NE assignment (device → network).
@@ -40,33 +87,77 @@ func (p *PreparedNE) Assignment() []int { return p.assign }
 func (p *PreparedNE) ShareOf(d int) float64 { return p.shares[d] }
 
 // Distance evaluates Definition 3 over the given member devices (nil means
-// all devices): members are partitioned by availability signature, each
+// all devices): members are partitioned by availability group, each
 // partition's current gains are rank-matched against the partition's NE
 // shares, and the worst percentage shortfall is returned. currentGains is
 // indexed like the instance's devices.
+//
+// Distance allocates scratch per call; the simulator's per-slot loop uses a
+// reusable DistanceEval instead.
 func (p *PreparedNE) Distance(currentGains []float64, members []int) float64 {
-	if members == nil {
-		members = make([]int, len(p.shares))
-		for d := range members {
-			members[d] = d
-		}
+	e := p.NewEval()
+	return e.Distance(currentGains, members)
+}
+
+// DistanceEval evaluates Definition 3 against one PreparedNE without
+// allocating per call: the per-group gain buffers are owned by the
+// evaluator and reused across slots. An evaluator must not be shared
+// between goroutines.
+type DistanceEval struct {
+	p       *PreparedNE
+	cur, ne [][]float64 // per-group scratch, truncated to zero each call
+}
+
+// NewEval returns a reusable Definition 3 evaluator for the prepared NE.
+func (p *PreparedNE) NewEval() *DistanceEval {
+	e := &DistanceEval{}
+	e.Reset(p)
+	return e
+}
+
+// Reset retargets the evaluator at another prepared NE (a new epoch),
+// keeping its scratch buffers. The simulator carries one evaluator per
+// workspace across every epoch and replication.
+func (e *DistanceEval) Reset(p *PreparedNE) {
+	e.p = p
+	for len(e.cur) < p.nGroups {
+		e.cur = append(e.cur, nil)
+		e.ne = append(e.ne, nil)
 	}
-	groups := make(map[string][]int)
-	for _, d := range members {
-		groups[p.sigs[d]] = append(groups[p.sigs[d]], d)
+}
+
+// Distance is PreparedNE.Distance evaluated through the reusable scratch.
+// It returns bit-identical results to the allocating form: members bucket
+// into groups in the same order, and each group's gains are sorted and
+// rank-matched identically.
+func (e *DistanceEval) Distance(currentGains []float64, members []int) float64 {
+	p := e.p
+	for g := 0; g < p.nGroups; g++ {
+		e.cur[g] = e.cur[g][:0]
+		e.ne[g] = e.ne[g][:0]
+	}
+	if members == nil {
+		for d := range p.shares {
+			g := p.groupOf[d]
+			e.cur[g] = append(e.cur[g], currentGains[d])
+			e.ne[g] = append(e.ne[g], p.shares[d])
+		}
+	} else {
+		for _, d := range members {
+			g := p.groupOf[d]
+			e.cur[g] = append(e.cur[g], currentGains[d])
+			e.ne[g] = append(e.ne[g], p.shares[d])
+		}
 	}
 	var worst float64
-	for _, ds := range groups {
-		cur := make([]float64, 0, len(ds))
-		ne := make([]float64, 0, len(ds))
-		for _, d := range ds {
-			cur = append(cur, currentGains[d])
-			ne = append(ne, p.shares[d])
+	for g := 0; g < p.nGroups; g++ {
+		if len(e.cur[g]) == 0 {
+			continue
 		}
-		sort.Float64s(cur)
-		sort.Float64s(ne)
-		for i := range cur {
-			worst = math.Max(worst, percentGainIncrease(cur[i], ne[i]))
+		slices.Sort(e.cur[g])
+		slices.Sort(e.ne[g])
+		for i := range e.cur[g] {
+			worst = math.Max(worst, percentGainIncrease(e.cur[g][i], e.ne[g][i]))
 		}
 	}
 	return worst

@@ -151,6 +151,104 @@ func Uniform(k int, bandwidth float64) Topology {
 	return SingleArea(nets...)
 }
 
+// GenSpec parameterizes Generate's synthetic metropolitan topologies: Areas
+// service areas, each with APsPerArea private WiFi access points, Cells
+// cellular networks visible from every area, and Overlap access points per
+// area additionally visible from the previous area (contiguous coverage at
+// area boundaries). The construction is deterministic — bandwidths cycle
+// through fixed per-technology rate ladders — so a spec always names the
+// same topology.
+type GenSpec struct {
+	Areas      int
+	APsPerArea int
+	Cells      int
+	Overlap    int
+}
+
+// Validate reports whether the spec describes a generatable topology.
+func (s GenSpec) Validate() error {
+	if s.Areas < 1 {
+		return fmt.Errorf("netmodel: generate needs at least one area, got %d", s.Areas)
+	}
+	if s.APsPerArea < 0 || s.Cells < 0 {
+		return errors.New("netmodel: negative network counts")
+	}
+	if s.APsPerArea+s.Cells < 1 {
+		return errors.New("netmodel: every area would be empty")
+	}
+	if s.Overlap < 0 || s.Overlap > s.APsPerArea {
+		return fmt.Errorf("netmodel: overlap %d outside [0,%d]", s.Overlap, s.APsPerArea)
+	}
+	return nil
+}
+
+// Per-technology bandwidth ladders for generated topologies, in Mbps. The
+// WiFi rungs match the rates the paper's settings use; the cellular rungs
+// span typical macro-cell capacities.
+var (
+	genWiFiMbps = []float64{4, 7, 11, 14, 22}
+	genCellMbps = []float64{16, 22, 28}
+)
+
+// Generate builds the spec's topology: cells numbered first (visible
+// everywhere), then each area's access points. Area a sees every cell, its
+// own APs, and the first Overlap APs of area (a+1) mod Areas. It panics on
+// an invalid spec — generators parameterize benchmarks and presets, so a
+// bad spec is a programming error.
+func Generate(spec GenSpec) Topology {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	var top Topology
+	for c := 0; c < spec.Cells; c++ {
+		top.Networks = append(top.Networks, Network{
+			Name:      fmt.Sprintf("cell-%d", c+1),
+			Type:      Cellular,
+			Bandwidth: genCellMbps[c%len(genCellMbps)],
+		})
+	}
+	apStart := make([]int, spec.Areas)
+	for a := 0; a < spec.Areas; a++ {
+		apStart[a] = len(top.Networks)
+		for i := 0; i < spec.APsPerArea; i++ {
+			top.Networks = append(top.Networks, Network{
+				Name:      fmt.Sprintf("wlan-%d-%d", a+1, i+1),
+				Type:      WiFi,
+				Bandwidth: genWiFiMbps[(a*spec.APsPerArea+i)%len(genWiFiMbps)],
+			})
+		}
+	}
+	top.Areas = make([][]int, spec.Areas)
+	for a := 0; a < spec.Areas; a++ {
+		nets := make([]int, 0, spec.Cells+spec.APsPerArea+spec.Overlap)
+		for c := 0; c < spec.Cells; c++ {
+			nets = append(nets, c)
+		}
+		for i := 0; i < spec.APsPerArea; i++ {
+			nets = append(nets, apStart[a]+i)
+		}
+		if spec.Areas > 1 {
+			next := (a + 1) % spec.Areas
+			for i := 0; i < spec.Overlap; i++ {
+				nets = append(nets, apStart[next]+i)
+			}
+		}
+		top.Areas[a] = nets
+	}
+	return top
+}
+
+// LargeSpec is the standard large-topology preset: 40 service areas with 5
+// access points each plus 4 city-wide cellular networks (204 networks), one
+// AP shared across each area boundary. It backs `simulate -topology large`
+// and the large-scale replication benchmarks.
+func LargeSpec() GenSpec {
+	return GenSpec{Areas: 40, APsPerArea: 5, Cells: 4, Overlap: 1}
+}
+
+// Large returns the LargeSpec topology.
+func Large() Topology { return Generate(LargeSpec()) }
+
 // Names of the Figure 1 service areas (see FoodCourt).
 const (
 	AreaFoodCourt = 0

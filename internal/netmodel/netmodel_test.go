@@ -130,3 +130,72 @@ func TestTypeString(t *testing.T) {
 		t.Fatal("unknown type should include its value")
 	}
 }
+
+func TestGenerateLargeIsValidAndSized(t *testing.T) {
+	top := Large()
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	spec := LargeSpec()
+	wantNets := spec.Cells + spec.Areas*spec.APsPerArea
+	if len(top.Networks) != wantNets {
+		t.Fatalf("%d networks, want %d", len(top.Networks), wantNets)
+	}
+	if len(top.Areas) != spec.Areas {
+		t.Fatalf("%d areas, want %d", len(top.Areas), spec.Areas)
+	}
+	for a, nets := range top.Areas {
+		if len(nets) != spec.Cells+spec.APsPerArea+spec.Overlap {
+			t.Fatalf("area %d sees %d networks", a, len(nets))
+		}
+		for c := 0; c < spec.Cells; c++ {
+			if top.Networks[nets[c]].Type != Cellular {
+				t.Fatalf("area %d: network %d should be cellular", a, nets[c])
+			}
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	spec := GenSpec{Areas: 7, APsPerArea: 3, Cells: 2, Overlap: 1}
+	a, b := Generate(spec), Generate(spec)
+	if len(a.Networks) != len(b.Networks) {
+		t.Fatal("same spec generated different topologies")
+	}
+	for i := range a.Networks {
+		if a.Networks[i] != b.Networks[i] {
+			t.Fatalf("network %d differs across generations", i)
+		}
+	}
+}
+
+func TestGenerateOverlapSharesAPs(t *testing.T) {
+	top := Generate(GenSpec{Areas: 3, APsPerArea: 2, Cells: 1, Overlap: 1})
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Area 0 must see the first AP of area 1.
+	area1FirstAP := 1 + 2 // one cell, then area 0's two APs
+	found := false
+	for _, n := range top.Areas[0] {
+		if n == area1FirstAP {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("area 0 (%v) does not overlap with area 1's first AP %d", top.Areas[0], area1FirstAP)
+	}
+}
+
+func TestGenerateRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []GenSpec{
+		{Areas: 0, APsPerArea: 1},
+		{Areas: 1, APsPerArea: -1},
+		{Areas: 2},
+		{Areas: 2, APsPerArea: 1, Overlap: 2},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("spec %+v should be invalid", spec)
+		}
+	}
+}

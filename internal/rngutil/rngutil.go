@@ -32,9 +32,12 @@ func ChildSeed(seed int64, ids ...int64) int64 {
 	return int64(x)
 }
 
-// New returns a new deterministic generator for the given seed.
+// New returns a new deterministic generator for the given seed. It is
+// backed by this package's Source, whose stream is bit-identical to
+// rand.NewSource's (see source.go), so results are unchanged from a
+// stdlib-backed generator.
 func New(seed int64) *rand.Rand {
-	return rand.New(rand.NewSource(seed))
+	return rand.New(NewSource(seed))
 }
 
 // NewChild returns a generator seeded from ChildSeed(seed, ids...).

@@ -1,0 +1,116 @@
+package rngutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The entire value of Source is stream identity with math/rand: every test
+// here compares against rand.NewSource draw-for-draw.
+
+func sourceSeeds() []int64 {
+	return []int64{0, 1, -1, 42, 89482311, int32max, int32max + 1,
+		-9137432789, 1 << 40, -(1 << 52), 7, 1_000_003}
+}
+
+func TestSourceMatchesStdlibUint64(t *testing.T) {
+	for _, seed := range sourceSeeds() {
+		std := rand.NewSource(seed).(rand.Source64)
+		fast := NewSource(seed)
+		for i := 0; i < 3000; i++ {
+			if got, want := fast.Uint64(), std.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: Uint64 %d, stdlib %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSourceMatchesStdlibInt63(t *testing.T) {
+	for _, seed := range sourceSeeds() {
+		std := rand.NewSource(seed)
+		fast := NewSource(seed)
+		for i := 0; i < 2000; i++ {
+			if got, want := fast.Int63(), std.Int63(); got != want {
+				t.Fatalf("seed %d draw %d: Int63 %d, stdlib %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSourceReseedMatchesStdlib(t *testing.T) {
+	std := rand.NewSource(1)
+	fast := NewSource(1)
+	for _, seed := range sourceSeeds() {
+		std.Seed(seed)
+		fast.Seed(seed)
+		for i := 0; i < 700; i++ { // past one full table wrap
+			if got, want := fast.Int63(), std.Int63(); got != want {
+				t.Fatalf("reseed %d draw %d: %d, stdlib %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRandMethodsMatchStdlib drives the full rand.Rand surface the
+// simulator uses (Float64, NormFloat64, ExpFloat64, Intn, Perm, Shuffle)
+// through both sources.
+func TestRandMethodsMatchStdlib(t *testing.T) {
+	for _, seed := range sourceSeeds() {
+		std := rand.New(rand.NewSource(seed))
+		fast := rand.New(NewSource(seed))
+		for i := 0; i < 500; i++ {
+			if g, w := fast.Float64(), std.Float64(); g != w {
+				t.Fatalf("seed %d: Float64 %v vs %v", seed, g, w)
+			}
+			if g, w := fast.NormFloat64(), std.NormFloat64(); g != w {
+				t.Fatalf("seed %d: NormFloat64 %v vs %v", seed, g, w)
+			}
+			if g, w := fast.ExpFloat64(), std.ExpFloat64(); g != w {
+				t.Fatalf("seed %d: ExpFloat64 %v vs %v", seed, g, w)
+			}
+			if g, w := fast.Intn(97), std.Intn(97); g != w {
+				t.Fatalf("seed %d: Intn %d vs %d", seed, g, w)
+			}
+		}
+		gp, wp := fast.Perm(23), std.Perm(23)
+		for i := range gp {
+			if gp[i] != wp[i] {
+				t.Fatalf("seed %d: Perm diverges at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestSeedAllMatchesIndividualSeed(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 11} {
+		batch := make([]*Source, n)
+		single := make([]*Source, n)
+		seeds := make([]int64, n)
+		for i := range batch {
+			batch[i] = NewSource(999) // dirty state first
+			for j := 0; j < i; j++ {
+				batch[i].Uint64()
+			}
+			single[i] = &Source{}
+			seeds[i] = ChildSeed(77, int64(i))
+			single[i].Seed(seeds[i])
+		}
+		SeedAll(batch, seeds)
+		for i := range batch {
+			for k := 0; k < 1000; k++ {
+				if g, w := batch[i].Uint64(), single[i].Uint64(); g != w {
+					t.Fatalf("n=%d source %d draw %d: SeedAll %d, Seed %d", n, i, k, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedAllLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SeedAll with mismatched lengths must panic")
+		}
+	}()
+	SeedAll(make([]*Source, 2), make([]int64, 3))
+}

@@ -20,6 +20,16 @@
 // a bounded window ahead of the merge frontier, so the reorder buffer holds
 // O(workers) results even when one early run is much slower than the rest:
 // memory stays O(workers), not O(runs).
+//
+// # Per-worker state
+//
+// The pooled variants (MergeOrderedPooled, MergePooled) hand every worker
+// one private state object for its whole batch. This is how simulation
+// batches run allocation-free: each worker owns one sim.Workspace, reused
+// across all replications it executes, with no sync.Pool churn and no
+// cross-goroutine sharing. Pooling does not weaken the determinism
+// contract, because run results must not depend on which worker's state
+// executed them — sim's Engine guarantees exactly that for workspaces.
 package runner
 
 import (
@@ -72,6 +82,21 @@ type indexed[T any] struct {
 // needs no locking). It returns the first error from do or merge; after an
 // error no further work is started and no further merges run.
 func MergeOrdered[T any](workers, n int, do func(i int) (T, error), merge func(i int, v T) error) error {
+	return MergeOrderedPooled(workers, n,
+		func() struct{} { var z struct{}; return z },
+		func(_ struct{}, i int) (T, error) { return do(i) },
+		merge)
+}
+
+// MergeOrderedPooled is MergeOrdered with per-worker state: every worker
+// goroutine calls newState exactly once and hands the state to each of its
+// runs. This is the pooling primitive behind cheap Monte Carlo batches —
+// a worker owns one simulation Workspace for its whole batch, so
+// replications reuse buffers instead of allocating, with no sync.Pool
+// churn and no cross-goroutine sharing. The determinism contract is
+// unchanged: run i's result must not depend on which worker (and thus
+// which state) executed it, which sim's Engine guarantees for workspaces.
+func MergeOrderedPooled[S, T any](workers, n int, newState func() S, do func(s S, i int) (T, error), merge func(i int, v T) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -80,8 +105,9 @@ func MergeOrdered[T any](workers, n int, do func(i int) (T, error), merge func(i
 		workers = n
 	}
 	if workers == 1 {
+		s := newState()
 		for i := 0; i < n; i++ {
-			v, err := do(i)
+			v, err := do(s, i)
 			if err != nil {
 				return fmt.Errorf("runner: run %d: %w", i, err)
 			}
@@ -138,12 +164,13 @@ func MergeOrdered[T any](workers, n int, do func(i int) (T, error), merge func(i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := newState()
 			for {
 				i, ok := claim()
 				if !ok {
 					return
 				}
-				v, err := do(i)
+				v, err := do(s, i)
 				if err != nil {
 					fail()
 				}
@@ -228,6 +255,15 @@ func (r Replications) Each(do func(run int, seed int64) error) error {
 func Merge[T any](r Replications, do func(run int, seed int64) (T, error), merge func(run int, v T) error) error {
 	return MergeOrdered(r.Workers, r.Runs,
 		func(run int) (T, error) { return do(run, r.SeedFor(run)) },
+		merge)
+}
+
+// MergePooled is Merge with per-worker state (see MergeOrderedPooled): the
+// standard shape for running a batch of simulation replications through one
+// compiled sim Engine, with each worker owning one reusable Workspace.
+func MergePooled[S, T any](r Replications, newState func() S, do func(s S, run int, seed int64) (T, error), merge func(run int, v T) error) error {
+	return MergeOrderedPooled(r.Workers, r.Runs, newState,
+		func(s S, run int) (T, error) { return do(s, run, r.SeedFor(run)) },
 		merge)
 }
 

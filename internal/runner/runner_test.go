@@ -149,6 +149,84 @@ func TestParallelAggregateDeterminism(t *testing.T) {
 	}
 }
 
+// TestMergeOrderedPooledStatePerWorker: every worker creates exactly one
+// state, every run receives a state, and results still merge in ascending
+// order.
+func TestMergeOrderedPooledStatePerWorker(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var states int32
+		var mergeNext int
+		err := MergeOrderedPooled(workers, 64,
+			func() *int32 {
+				atomic.AddInt32(&states, 1)
+				n := new(int32)
+				return n
+			},
+			func(s *int32, i int) (int, error) {
+				if s == nil {
+					t.Error("run executed without worker state")
+				}
+				atomic.AddInt32(s, 1)
+				return i, nil
+			},
+			func(i, v int) error {
+				if i != mergeNext {
+					t.Fatalf("merge out of order: %d, want %d", i, mergeNext)
+				}
+				mergeNext++
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := atomic.LoadInt32(&states); int(n) > workers {
+			t.Fatalf("workers=%d created %d states, want at most one per worker", workers, n)
+		}
+	}
+}
+
+// TestMergePooledDeterministicAcrossWorkers: a pooled aggregate (each worker
+// reusing one accumulator state) is byte-identical for every worker count,
+// mirroring how pooled simulation workspaces are used.
+func TestMergePooledDeterministicAcrossWorkers(t *testing.T) {
+	pooledAggregate := func(workers int) (string, error) {
+		batch := Replications{Runs: 48, Workers: workers, Seed: 13, Stream: []int64{3}}
+		var sb strings.Builder
+		err := MergePooled(batch,
+			func() []float64 { return make([]float64, 0, 64) }, // reused scratch
+			func(scratch []float64, run int, seed int64) (float64, error) {
+				rng := rngutil.New(seed)
+				scratch = scratch[:0]
+				for i := 0; i < 50; i++ {
+					scratch = append(scratch, rng.Float64())
+				}
+				var sum float64
+				for _, v := range scratch {
+					sum += v
+				}
+				return sum, nil
+			},
+			func(run int, v float64) error {
+				fmt.Fprintf(&sb, "%d:%.12f;", run, v)
+				return nil
+			})
+		return sb.String(), err
+	}
+	base, err := pooledAggregate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got, err := pooledAggregate(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Fatalf("workers=%d pooled aggregate differs from serial", workers)
+		}
+	}
+}
+
 func TestGridCoversAllCells(t *testing.T) {
 	var mu sync.Mutex
 	seen := make(map[[2]int]bool)

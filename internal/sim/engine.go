@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"errors"
+	"slices"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/criteria"
+	"smartexp3/internal/netmodel"
+)
+
+// Engine is the compiled, immutable form of a Config: the configuration is
+// validated once, defaulted, deep-copied (so later caller mutations of the
+// original Config cannot corrupt a run), and augmented with everything the
+// slot loop wants precomputed — per-network technology and cost tables, the
+// gain scale, the bandwidth vector, each device's resolved leave slot, and
+// the epoch schedule (the set of slots at which any device can join, leave
+// or change area, which lets the hot loop skip presence scans on all other
+// slots).
+//
+// An Engine is safe for concurrent use: all of its state is read-only after
+// construction. Each concurrent run needs its own Workspace (see
+// NewWorkspace); the configured delay Samplers, Gamma schedule and
+// PolicyFactory are shared across workspaces and must therefore be
+// stateless, as all implementations in this module are.
+type Engine struct {
+	cfg         Config // defaulted and isolated; never mutated after compile
+	centralized bool
+	nDevices    int
+	nNetworks   int
+	bandwidths  []float64
+	gainScale   float64
+	leaves      []int            // resolved leave slot per device (Slots when absent)
+	changeSlot  []bool           // per slot: some device may join, leave, or move
+	isCellular  []bool           // per network
+	costs       []criteria.Costs // per network; nil when cfg.Criteria is nil
+}
+
+// NewEngine validates and compiles a configuration. The returned engine
+// holds a deep copy of cfg (topology, device specs and trajectories, device
+// groups, network costs), so the caller may freely reuse or mutate cfg
+// afterwards without affecting runs in flight.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         isolateConfig(cfg.withDefaults()),
+		centralized: cfg.Devices[0].Algorithm == core.AlgCentralized,
+		nDevices:    len(cfg.Devices),
+		nNetworks:   len(cfg.Topology.Networks),
+	}
+	c := &e.cfg
+	e.bandwidths = c.Topology.Bandwidths()
+	e.gainScale = c.GainScale
+	e.isCellular = make([]bool, e.nNetworks)
+	for i, n := range c.Topology.Networks {
+		e.isCellular[i] = n.Type == netmodel.Cellular
+	}
+	if c.Criteria != nil {
+		e.costs = make([]criteria.Costs, e.nNetworks)
+		for i, n := range c.Topology.Networks {
+			if c.NetworkCosts != nil {
+				e.costs[i] = c.NetworkCosts[i]
+			} else {
+				e.costs[i] = criteria.DefaultCosts(n.Type)
+			}
+		}
+	}
+	e.leaves = make([]int, e.nDevices)
+	e.changeSlot = make([]bool, c.Slots)
+	e.changeSlot[0] = true
+	for d, spec := range c.Devices {
+		leave := spec.Leave
+		if leave == 0 {
+			leave = c.Slots
+		}
+		e.leaves[d] = leave
+		if spec.Join < c.Slots {
+			e.changeSlot[spec.Join] = true
+		}
+		if leave < c.Slots {
+			e.changeSlot[leave] = true
+		}
+		for _, stay := range spec.Trajectory {
+			if stay.FromSlot >= 0 && stay.FromSlot < c.Slots {
+				e.changeSlot[stay.FromSlot] = true
+			}
+		}
+	}
+	return e, nil
+}
+
+// isolateConfig deep-copies every slice a caller could mutate after handing
+// the Config to NewEngine: the topology, device specs (with trajectories),
+// device groups and network costs. Samplers, the Gamma schedule and the
+// PolicyFactory are immutable or stateless by contract and are shared.
+func isolateConfig(c Config) Config {
+	c.Topology = netmodel.Topology{
+		Networks: slices.Clone(c.Topology.Networks),
+		Areas:    cloneNested(c.Topology.Areas),
+	}
+	c.Devices = slices.Clone(c.Devices)
+	for d := range c.Devices {
+		c.Devices[d].Trajectory = slices.Clone(c.Devices[d].Trajectory)
+	}
+	c.DeviceGroups = cloneNested(c.DeviceGroups)
+	c.NetworkCosts = slices.Clone(c.NetworkCosts)
+	return c
+}
+
+func cloneNested[T any](xs [][]T) [][]T {
+	if xs == nil {
+		return nil
+	}
+	out := make([][]T, len(xs))
+	for i := range xs {
+		out[i] = slices.Clone(xs[i])
+	}
+	return out
+}
+
+// Config returns the engine's compiled configuration (defaults applied).
+// Callers must not modify it.
+func (e *Engine) Config() *Config { return &e.cfg }
+
+// Run executes one replication seeded with seed, using ws for every piece
+// of mutable state. A nil ws runs on a freshly allocated workspace. The
+// result is independent of the workspace's history: Run(ws, s) returns a
+// byte-identical Result for every workspace of this engine, reused or
+// fresh — that is the engine's determinism contract, and the property that
+// makes per-worker workspace pooling safe.
+func (e *Engine) Run(ws *Workspace, seed int64) (*Result, error) {
+	if ws == nil {
+		ws = e.NewWorkspace()
+	}
+	if ws.eng != e {
+		return nil, errors.New("sim: workspace was created by a different engine")
+	}
+	ws.reset(seed)
+	for t := 0; t < e.cfg.Slots; t++ {
+		if err := ws.beginSlot(t); err != nil {
+			return nil, err
+		}
+		ws.selectAll(t)
+		ws.computeShares()
+		ws.settleSlot(t)
+	}
+	ws.finish()
+	return ws.takeResult(), nil
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/runner"
+)
+
+// reuseConfigs are the scenarios the workspace-reuse tests sweep: static,
+// churn + mobility + noise, and centralized — the three policy-lifecycle
+// shapes (never released, released and reinstalled, no policies at all).
+func reuseConfigs() map[string]Config {
+	churn := Config{
+		Topology: netmodel.FoodCourt(),
+		Devices: []DeviceSpec{
+			{Algorithm: core.AlgSmartEXP3, Trajectory: []AreaStay{
+				{FromSlot: 0, Area: netmodel.AreaFoodCourt},
+				{FromSlot: 40, Area: netmodel.AreaStudyArea},
+			}},
+			{Algorithm: core.AlgGreedy, Join: 10, Leave: 60},
+			{Algorithm: core.AlgFullInformation},
+			{Algorithm: core.AlgFixedRandom},
+			{Algorithm: core.AlgSmartEXP3NoReset, Leave: 50},
+		},
+		Slots:       90,
+		NoiseStdDev: 0.05,
+		Collect:     CollectOptions{Distance: true, Selections: true, Bitrates: true},
+	}
+	return map[string]Config{
+		"static": {
+			Topology: netmodel.Setting1(),
+			Devices:  UniformDevices(6, core.AlgSmartEXP3),
+			Slots:    150,
+			Collect:  CollectOptions{Distance: true, Probabilities: true},
+		},
+		"churn": churn,
+		"centralized": {
+			Topology: netmodel.Setting1(),
+			Devices:  UniformDevices(8, core.AlgCentralized),
+			Slots:    80,
+			Collect:  CollectOptions{Distance: true},
+		},
+	}
+}
+
+// TestWorkspaceReuseMatchesFreshEngine is the engine's determinism contract:
+// running one seed through a single pooled workspace (after the workspace
+// has been dirtied by other seeds) must produce a Result byte-identical to a
+// fresh engine + fresh workspace run of the same seed. Run it under -race at
+// -cpu 1,8 in CI to also catch any shared-state races between workspaces.
+func TestWorkspaceReuseMatchesFreshEngine(t *testing.T) {
+	for name, cfg := range reuseConfigs() {
+		t.Run(name, func(t *testing.T) {
+			eng, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := eng.NewWorkspace()
+			// Dirty the workspace with two other seeds first.
+			for _, s := range []int64{99, 7} {
+				if _, err := eng.Run(ws, s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			reused, err := eng.Run(ws, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := eng.Run(ws, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fresh, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pristine, err := fresh.Run(fresh.NewWorkspace(), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(reused, pristine) {
+				t.Fatalf("pooled workspace diverged from fresh engine:\nreused:   %+v\npristine: %+v", reused, pristine)
+			}
+			if !reflect.DeepEqual(reused, again) {
+				t.Fatal("same seed through the same workspace twice diverged")
+			}
+			// And the one-shot API agrees too.
+			c := cfg
+			c.Seed = 42
+			oneShot, err := Run(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(reused, oneShot) {
+				t.Fatal("engine run diverged from the one-shot Run API")
+			}
+		})
+	}
+}
+
+// TestPooledBatchDeterministicAcrossWorkers runs one replication batch
+// through runner.MergePooled — one workspace per worker, exactly as the
+// experiment suite does — and asserts the merged aggregate is byte-identical
+// for every worker count and identical to fresh-engine one-shot runs.
+func TestPooledBatchDeterministicAcrossWorkers(t *testing.T) {
+	cfg := reuseConfigs()["churn"]
+	aggregate := func(workers int) string {
+		eng, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := runner.Replications{Runs: 24, Workers: workers, Seed: 5, Stream: []int64{9}}
+		var sb strings.Builder
+		err = runner.MergePooled(batch,
+			eng.NewWorkspace,
+			func(ws *Workspace, run int, seed int64) (*Result, error) {
+				return eng.Run(ws, seed)
+			},
+			func(run int, res *Result) error {
+				fmt.Fprintf(&sb, "%d:", run)
+				for d := range res.Devices {
+					fmt.Fprintf(&sb, "%x,%x;", res.Devices[d].DownloadMb, res.Devices[d].DelaySeconds)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	base := aggregate(1)
+	for _, workers := range []int{2, 8, 0} {
+		if got := aggregate(workers); got != base {
+			t.Fatalf("workers=%d pooled batch aggregate differs from serial", workers)
+		}
+	}
+	// One-shot runs of the same child seeds agree with the pooled batch.
+	batch := runner.Replications{Runs: 24, Seed: 5, Stream: []int64{9}}
+	var sb strings.Builder
+	for run := 0; run < batch.Runs; run++ {
+		c := cfg
+		c.Seed = batch.SeedFor(run)
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "%d:", run)
+		for d := range res.Devices {
+			fmt.Fprintf(&sb, "%x,%x;", res.Devices[d].DownloadMb, res.Devices[d].DelaySeconds)
+		}
+	}
+	if sb.String() != base {
+		t.Fatal("pooled batch diverged from one-shot replications")
+	}
+}
+
+// TestEngineIsolatesConfig pins the deep-copy fix: mutating the caller's
+// Config slices after NewEngine must not affect an engine already built
+// from it.
+func TestEngineIsolatesConfig(t *testing.T) {
+	cfg := Config{
+		Topology:     netmodel.FoodCourt(),
+		Devices:      UniformDevices(5, core.AlgSmartEXP3),
+		Slots:        60,
+		Seed:         3,
+		DeviceGroups: [][]int{{0, 1}, {2, 3, 4}},
+		Collect:      CollectOptions{Distance: true},
+	}
+	cfg.Devices[0].Trajectory = []AreaStay{{FromSlot: 20, Area: netmodel.AreaBusStop}}
+
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Run(nil, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt every caller-held slice.
+	cfg.Topology.Networks[0].Bandwidth = 1e9
+	cfg.Topology.Areas[0][0] = 0
+	cfg.Devices[1].Algorithm = core.AlgGreedy
+	cfg.Devices[0].Trajectory[0].Area = netmodel.AreaFoodCourt
+	cfg.DeviceGroups[0][0] = 4
+	got, err := eng.Run(nil, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("mutating the caller's Config changed a compiled engine's output")
+	}
+}
+
+// TestWorkspaceRejectsForeignEngine guards the workspace/engine pairing.
+func TestWorkspaceRejectsForeignEngine(t *testing.T) {
+	cfg := Config{
+		Topology: netmodel.Setting1(),
+		Devices:  UniformDevices(3, core.AlgSmartEXP3),
+		Slots:    10,
+	}
+	a, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(b.NewWorkspace(), 1); err == nil {
+		t.Fatal("running a workspace under a foreign engine must fail")
+	}
+}
+
+// TestWorkspaceSteadyStateAllocs asserts the tentpole's allocation budget:
+// once a workspace is warm, a replication allocates only the Result it
+// returns plus epoch-refresh bookkeeping — far under one allocation per
+// slot, and flat in the number of replications.
+func TestWorkspaceSteadyStateAllocs(t *testing.T) {
+	cfg := Config{
+		Topology: netmodel.Setting1(),
+		Devices:  UniformDevices(5, core.AlgSmartEXP3),
+		Slots:    120,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := eng.NewWorkspace()
+	if _, err := eng.Run(ws, 1); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	seed := int64(2)
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := eng.Run(ws, seed); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	})
+	// A warm replication allocates the Result (2) plus the single epoch
+	// refresh (prepared NE + evaluator scratch, ~10); 25 leaves headroom for
+	// map growth internals while still catching any per-slot regression
+	// (120 slots would blow straight past it).
+	if avg > 25 {
+		t.Fatalf("steady-state replication allocates %.1f objects, want ≤ 25", avg)
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/criteria"
+	"smartexp3/internal/netmodel"
+)
+
+// The golden tests pin the simulator's exact numeric output: every refactor
+// of the engine hot path must reproduce the recorded fingerprints bit for
+// bit (floats are compared by their hex representation). Regenerate with
+//
+//	go test ./internal/sim -run TestGolden -update
+//
+// only when a behavior change is intended and understood.
+var updateGolden = flag.Bool("update", false, "rewrite the golden fingerprint file")
+
+// goldenConfigs enumerates scenarios chosen to cover every hot path of the
+// engine: static single-area runs, mobility (SetAvailable mid-run), device
+// churn (join/leave epochs), measurement noise, full-information
+// counterfactual feedback, the centralized coordinator, multi-criteria
+// utilities, and every CollectOptions field.
+func goldenConfigs() []struct {
+	name string
+	cfg  Config
+} {
+	foodcourt := netmodel.FoodCourt()
+	mixed := []DeviceSpec{
+		{Algorithm: core.AlgSmartEXP3, Trajectory: []AreaStay{
+			{FromSlot: 0, Area: netmodel.AreaFoodCourt},
+			{FromSlot: 60, Area: netmodel.AreaBusStop},
+		}},
+		{Algorithm: core.AlgGreedy, Join: 20},
+		{Algorithm: core.AlgEXP3, Leave: 80},
+		{Algorithm: core.AlgFullInformation},
+		{Algorithm: core.AlgFixedRandom, Trajectory: []AreaStay{
+			{FromSlot: 30, Area: netmodel.AreaStudyArea},
+		}},
+		{Algorithm: core.AlgSmartEXP3NoReset},
+	}
+	central := UniformDevices(12, core.AlgCentralized)
+	for d := 4; d < 8; d++ {
+		central[d].Leave = 40
+	}
+	central[10].Join = 30
+
+	costTop := netmodel.Topology{
+		Networks: []netmodel.Network{
+			{Name: "wlan", Type: netmodel.WiFi, Bandwidth: 8},
+			{Name: "cell", Type: netmodel.Cellular, Bandwidth: 22},
+		},
+		Areas: [][]int{{0, 1}},
+	}
+	balanced := criteria.Balanced()
+
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"static-smart-setting1", Config{
+			Topology: netmodel.Setting1(),
+			Devices:  UniformDevices(6, core.AlgSmartEXP3),
+			Slots:    200,
+			Seed:     11,
+			Collect: CollectOptions{
+				Distance: true, Probabilities: true, Selections: true, Bitrates: true,
+			},
+			DeviceGroups: [][]int{{0, 1, 2}, {3, 4, 5}},
+		}},
+		{"mixed-foodcourt-dynamic", Config{
+			Topology:    foodcourt,
+			Devices:     mixed,
+			Slots:       150,
+			Seed:        7,
+			NoiseStdDev: 0.1,
+			Collect:     CollectOptions{Distance: true, Selections: true},
+		}},
+		{"centralized-churn", Config{
+			Topology: netmodel.Setting1(),
+			Devices:  central,
+			Slots:    100,
+			Seed:     5,
+			Collect:  CollectOptions{Distance: true},
+		}},
+		{"setting2-noreset-stability", Config{
+			Topology: netmodel.Setting2(),
+			Devices:  UniformDevices(9, core.AlgSmartEXP3NoReset),
+			Slots:    400,
+			Seed:     6,
+			Collect:  CollectOptions{Probabilities: true},
+		}},
+		{"criteria-hybrid", Config{
+			Topology:     costTop,
+			Devices:      UniformDevices(3, core.AlgHybridBlockEXP3),
+			Slots:        150,
+			Seed:         9,
+			Criteria:     &balanced,
+			NetworkCosts: []criteria.Costs{{Energy: 0.2}, {Energy: 0.6, PricePerData: 1}},
+			Collect:      CollectOptions{Bitrates: true},
+		}},
+	}
+}
+
+func hexf(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+
+// fingerprint renders every numeric field of a Result with bit-exact float
+// formatting so the golden file detects any behavioral drift.
+func fingerprint(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "slots=%d slotSeconds=%s\n", res.Slots, hexf(res.SlotSeconds))
+	for d := range res.Devices {
+		dev := &res.Devices[d]
+		fmt.Fprintf(&sb, "device %d alg=%v join=%d leave=%d switches=%d resets=%d stableFrom=%d download=%s delay=%s\n",
+			d, dev.Algorithm, dev.Join, dev.Leave, dev.Switches, dev.Resets,
+			dev.StableFrom, hexf(dev.DownloadMb), hexf(dev.DelaySeconds))
+		if dev.Selections != nil {
+			sum := 0
+			for t, s := range dev.Selections {
+				sum += (t + 1) * (s + 2)
+			}
+			fmt.Fprintf(&sb, "device %d selhash=%d\n", d, sum)
+		}
+		if dev.BitrateMbps != nil {
+			var sum float64
+			for t, b := range dev.BitrateMbps {
+				sum += float64(t+1) * b
+			}
+			fmt.Fprintf(&sb, "device %d bitratesum=%s\n", d, hexf(sum))
+		}
+	}
+	fmt.Fprintf(&sb, "fracAtNE=%s fracAtEps=%s unused=%s total=%s\n",
+		hexf(res.FracAtNE), hexf(res.FracAtEps), hexf(res.UnusedMb), hexf(res.TotalMb))
+	if res.Distance != nil {
+		var sum float64
+		for t, d := range res.Distance {
+			sum += float64(t+1) * d
+		}
+		fmt.Fprintf(&sb, "distsum=%s\n", hexf(sum))
+	}
+	for g := range res.GroupDistance {
+		var sum float64
+		for t, d := range res.GroupDistance[g] {
+			sum += float64(t+1) * d
+		}
+		fmt.Fprintf(&sb, "groupdistsum %d=%s\n", g, hexf(sum))
+	}
+	fmt.Fprintf(&sb, "stability valid=%v stable=%v slot=%d atNash=%v\n",
+		res.StabilityValid, res.Stability.Stable, res.Stability.Slot, res.Stability.AtNash)
+	return sb.String()
+}
+
+func TestGoldenFingerprints(t *testing.T) {
+	var sb strings.Builder
+	for _, gc := range goldenConfigs() {
+		res, err := Run(gc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", gc.name, err)
+		}
+		fmt.Fprintf(&sb, "=== %s\n%s", gc.name, fingerprint(res))
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("simulation output drifted from the recorded golden values.\n"+
+			"If this change is intentional, regenerate with: go test ./internal/sim -run TestGolden -update\n%s",
+			firstDiff(got, string(want)))
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure message.
+func firstDiff(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return fmt.Sprintf("first difference at line %d:\n  got:  %s\n  want: %s", i+1, g[i], w[i])
+		}
+	}
+	return fmt.Sprintf("outputs differ in length: got %d lines, want %d", len(g), len(w))
+}

@@ -8,7 +8,37 @@
 // The simulator supports the dynamics of Section VI-A: devices joining and
 // leaving mid-run, devices moving between service areas (changing their
 // availability sets), mixed policy populations, and the Centralized
-// coordinator baseline.
+// coordinator baseline — at paper scale (tens of devices, a handful of
+// networks) and at the generated metropolitan scale of netmodel.Generate
+// (hundreds of networks and devices).
+//
+// # Engine and Workspace
+//
+// The package is split along the immutable/mutable axis:
+//
+//   - An Engine (NewEngine) is the compiled form of a Config: validated,
+//     defaulted, deep-copied, with the per-network tables and the epoch
+//     schedule precomputed. Engines are read-only and safe to share across
+//     goroutines.
+//   - A Workspace (Engine.NewWorkspace) owns every piece of state one
+//     replication mutates — policies, RNG streams, per-slot vectors, the NE
+//     cache, recorders — and is reset and reused across replications. After
+//     its first run a workspace's slot loop allocates nothing beyond the
+//     Result it returns.
+//
+// Batches pair the two through Replicate (or runner.MergePooled directly):
+// the Config compiles once and each worker owns one workspace for its whole
+// batch. Run is the one-shot convenience wrapper.
+//
+// # Determinism contract
+//
+// Engine.Run(ws, seed) is a pure function of (engine, seed): every device
+// draws from its own stream reseeded from (seed, device), policies are
+// returned to their freshly constructed state via core.Reinitializer, and
+// all scratch is reinitialized — so a reused workspace, a fresh workspace
+// and the one-shot Run produce byte-identical Results, and parallel batch
+// aggregates are bit-for-bit independent of the worker count. The golden
+// tests in this package pin those bits across refactors.
 package sim
 
 import (
@@ -21,6 +51,7 @@ import (
 	"smartexp3/internal/dist"
 	"smartexp3/internal/game"
 	"smartexp3/internal/netmodel"
+	"smartexp3/internal/runner"
 )
 
 // DefaultSlotSeconds is the paper's 15-second slot duration.
@@ -67,6 +98,13 @@ type CollectOptions struct {
 }
 
 // Config parameterizes one simulation run.
+//
+// NewEngine (and therefore Run) snapshots the configuration: every slice —
+// the topology, device specs and trajectories, DeviceGroups, NetworkCosts —
+// is deep-copied at compile time, so a caller may mutate or reuse its Config
+// after starting a run without corrupting replications in flight. The
+// interface-valued fields (delay Samplers, Core.Gamma, PolicyFactory) are
+// shared and must be stateless, as every implementation in this module is.
 type Config struct {
 	Topology netmodel.Topology
 	Devices  []DeviceSpec
@@ -116,6 +154,21 @@ func UniformDevices(n int, alg core.Algorithm) []DeviceSpec {
 	devs := make([]DeviceSpec, n)
 	for d := range devs {
 		devs[d] = DeviceSpec{Algorithm: alg}
+	}
+	return devs
+}
+
+// SpreadDevices builds n device specs that all run the same algorithm and
+// stay for the whole run, distributed round-robin over the given number of
+// service areas — the standard population for the large generated
+// topologies of netmodel.Generate.
+func SpreadDevices(n int, alg core.Algorithm, areas int) []DeviceSpec {
+	devs := make([]DeviceSpec, n)
+	for d := range devs {
+		devs[d] = DeviceSpec{Algorithm: alg}
+		if a := d % areas; a != 0 {
+			devs[d].Trajectory = []AreaStay{{FromSlot: 0, Area: a}}
+		}
 	}
 	return devs
 }
@@ -272,11 +325,32 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// Run executes one simulation and returns its result.
+// Run executes one simulation and returns its result. It is the one-shot
+// form of the Engine/Workspace API: batch callers compile the configuration
+// once with NewEngine and reuse one Workspace per worker instead.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	e, err := NewEngine(cfg)
+	if err != nil {
 		return nil, err
 	}
-	r := newRunner(cfg.withDefaults())
-	return r.run()
+	return e.Run(nil, cfg.Seed)
+}
+
+// Replicate runs a batch of Monte Carlo replications of cfg across the
+// runner's worker pool and folds the results into merge in ascending run
+// order. The configuration is compiled once and every worker owns one
+// pooled Workspace for its whole batch, so replications beyond each
+// worker's first reuse all simulation state. Each replication is seeded
+// with its runner.Replications child seed; cfg.Seed is ignored. Aggregates
+// are bit-identical for every worker count.
+func Replicate(batch runner.Replications, cfg Config, merge func(run int, res *Result) error) error {
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	return runner.MergePooled(batch, eng.NewWorkspace,
+		func(ws *Workspace, run int, seed int64) (*Result, error) {
+			return eng.Run(ws, seed)
+		},
+		merge)
 }

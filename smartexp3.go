@@ -92,7 +92,16 @@ var (
 	FoodCourt = netmodel.FoodCourt
 	// UniformTopology returns k identical WiFi networks.
 	UniformTopology = netmodel.Uniform
+	// GenerateTopology builds a synthetic metropolitan topology from a spec.
+	GenerateTopology = netmodel.Generate
+	// LargeTopology returns the standard 204-network, 40-area preset.
+	LargeTopology = netmodel.Large
+	// LargeTopologySpec is the spec behind LargeTopology.
+	LargeTopologySpec = netmodel.LargeSpec
 )
+
+// TopologySpec parameterizes GenerateTopology.
+type TopologySpec = netmodel.GenSpec
 
 // Simulation layer.
 type (
@@ -108,13 +117,30 @@ type (
 	CollectOptions = sim.CollectOptions
 	// DeviceResult aggregates one device's run.
 	DeviceResult = sim.DeviceResult
+	// SimEngine is the compiled, immutable form of a SimConfig; compile once
+	// with NewSimEngine and run many seeded replications against it.
+	SimEngine = sim.Engine
+	// SimWorkspace holds one replication's reusable mutable state; a worker
+	// owns one workspace for its whole batch.
+	SimWorkspace = sim.Workspace
 )
 
 // Simulate executes one simulation run.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
+// NewSimEngine validates and compiles a simulation configuration for
+// repeated replication. Engine.Run(ws, seed) is a pure function of
+// (engine, seed) for any workspace of that engine, fresh or reused.
+func NewSimEngine(cfg SimConfig) (*SimEngine, error) { return sim.NewEngine(cfg) }
+
 // UniformDevices builds n devices that all run the same algorithm.
 func UniformDevices(n int, a Algorithm) []DeviceSpec { return sim.UniformDevices(n, a) }
+
+// SpreadDevices builds n devices running the same algorithm, distributed
+// round-robin over the first areas service areas.
+func SpreadDevices(n int, a Algorithm, areas int) []DeviceSpec {
+	return sim.SpreadDevices(n, a, areas)
+}
 
 // MbToGB converts megabits to decimal gigabytes (Table V's unit).
 func MbToGB(mb float64) float64 { return sim.MbToGB(mb) }
