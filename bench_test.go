@@ -10,10 +10,12 @@ package smartexp3_test
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
 	"smartexp3"
+	"smartexp3/internal/cluster"
 	"smartexp3/internal/core"
 	"smartexp3/internal/experiment"
 	"smartexp3/internal/netmodel"
@@ -168,6 +170,48 @@ func BenchmarkRunnerReplications(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkClusterDispatch measures the cluster coordinator end to end
+// against one loopback shardd worker: per op it dials, handshakes, ships
+// the job descriptor, dispatches ranges and merges the gob-decoded result
+// stream — the same 8-replication Setting 1 batch as
+// BenchmarkRunnerReplications/workers=1, so the difference between the two
+// rows is the per-batch cost of going through the cluster layer instead of
+// the in-process pool.
+func BenchmarkClusterDispatch(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go cluster.Serve(ln, cluster.WorkerOptions{Workers: 1})
+	addr := ln.Addr().String()
+
+	cfg := sim.Config{
+		Topology: netmodel.Setting1(),
+		Devices:  sim.UniformDevices(5, core.AlgSmartEXP3),
+		Slots:    120,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := runner.Replications{Runs: 8, Seed: int64(i + 1), Stream: []int64{42}}
+		job, err := cluster.NewJob(batch, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var downloads float64
+		err = cluster.Run(job, []string{addr}, cluster.Options{}, func(_ int, res *sim.Result) error {
+			for d := range res.Devices {
+				downloads += res.Devices[d].DownloadMb
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

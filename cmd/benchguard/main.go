@@ -8,10 +8,17 @@
 // ns/op is deliberately not enforced: shared CI runners make timing too
 // noisy to gate on, while allocs/op is deterministic for a fixed workload.
 //
+// A gate is only as strong as its coverage: a benchmark that silently
+// disappears from the input (renamed, skipped, filtered out by a stale
+// -bench pattern) would otherwise pass. -require closes that hole: every
+// baseline whose name matches the pattern must appear in the input, and
+// each absent one is reported as its own failure.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'RunnerReplications|SimReplication' -benchtime 100x -benchmem . | go run ./cmd/benchguard
 //	go run ./cmd/benchguard -baseline BENCH_runner.json < bench.out
+//	go run ./cmd/benchguard -require 'RunnerReplications/workers=1|SimReplication' < bench.out
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -29,6 +37,11 @@ type baselineFile struct {
 	Benchmarks []struct {
 		Name        string  `json:"name"`
 		AllocsPerOp float64 `json:"allocs_per_op"`
+		// Gated defaults to true; rows recorded for trend-watching only
+		// (for example allocations dominated by encoding internals rather
+		// than the simulation hot path) set it to false and are reported
+		// but never enforced.
+		Gated *bool `json:"gated,omitempty"`
 	} `json:"benchmarks"`
 }
 
@@ -51,9 +64,17 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		baselinePath = fs.String("baseline", "BENCH_runner.json", "baseline JSON file")
 		tolerance    = fs.Float64("tolerance", 1.25, "allowed allocs/op growth factor over baseline")
 		slack        = fs.Float64("slack", 4, "allowed absolute allocs/op growth over baseline")
+		require      = fs.String("require", "", "regexp of baseline names that must be present in the input")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var requireRE *regexp.Regexp
+	if *require != "" {
+		var err error
+		if requireRE, err = regexp.Compile(*require); err != nil {
+			return fmt.Errorf("bad -require pattern: %w", err)
+		}
 	}
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -65,8 +86,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("parsing %s: %w", *baselinePath, err)
 	}
 	ceilings := make(map[string]float64, len(base.Benchmarks))
+	ungated := make(map[string]bool)
 	for _, b := range base.Benchmarks {
 		ceilings[b.Name] = b.AllocsPerOp
+		if b.Gated != nil && !*b.Gated {
+			ungated[b.Name] = true
+		}
 	}
 
 	results, err := parseBenchOutput(in)
@@ -75,10 +100,16 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	matched, failed := 0, 0
+	present := make(map[string]bool, len(results))
 	for _, r := range results {
+		present[r.name] = true
 		baseline, ok := ceilings[r.name]
 		if !ok {
 			fmt.Fprintf(out, "SKIP  %s: no recorded baseline\n", r.name)
+			continue
+		}
+		if ungated[r.name] {
+			fmt.Fprintf(out, "info  %s: %.0f allocs/op (ungated baseline %.0f)\n", r.name, r.allocsOp, baseline)
 			continue
 		}
 		matched++
@@ -91,11 +122,30 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "ok    %s: %.0f allocs/op (baseline %.0f)\n", r.name, r.allocsOp, baseline)
 		}
 	}
+	// Presence gate: every required baseline must have produced a row. Each
+	// missing one fails on its own line, so a renamed or filtered-out
+	// benchmark is named instead of silently shrinking the gate.
+	if requireRE != nil {
+		required := 0
+		for _, b := range base.Benchmarks {
+			if !requireRE.MatchString(b.Name) {
+				continue
+			}
+			required++
+			if !present[b.Name] {
+				failed++
+				fmt.Fprintf(out, "FAIL  %s: required baseline missing from the bench output (renamed, skipped, or filtered out?)\n", b.Name)
+			}
+		}
+		if required == 0 {
+			return fmt.Errorf("-require %q matches no baseline in %s — pattern drift?", *require, *baselinePath)
+		}
+	}
 	if matched == 0 {
 		return fmt.Errorf("no benchmark in the input matched a recorded baseline — name drift?")
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed allocs/op", failed)
+		return fmt.Errorf("%d benchmark(s) regressed allocs/op or went missing", failed)
 	}
 	return nil
 }

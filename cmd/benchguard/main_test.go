@@ -11,7 +11,8 @@ const sampleBaseline = `{
   "benchmarks": [
     {"name": "BenchmarkSimReplication/devices=10", "allocs_per_op": 8},
     {"name": "BenchmarkRunnerReplications/workers=1", "allocs_per_op": 312},
-    {"name": "BenchmarkZeroAlloc", "allocs_per_op": 0}
+    {"name": "BenchmarkZeroAlloc", "allocs_per_op": 0},
+    {"name": "BenchmarkUngatedThing", "allocs_per_op": 100, "gated": false}
   ]
 }`
 
@@ -77,6 +78,78 @@ func TestGuardFailsWhenNothingMatches(t *testing.T) {
 		strings.NewReader("BenchmarkRenamed-8 10 5 ns/op 0 B/op 0 allocs/op\n"), &sb)
 	if err == nil || !strings.Contains(err.Error(), "matched") {
 		t.Fatalf("err = %v, want no-match failure", err)
+	}
+}
+
+// TestGuardUngatedBaselineNeverFails pins the "gated": false marker: the
+// row is reported for trend-watching but an arbitrary regression in it
+// cannot fail the gate.
+func TestGuardUngatedBaselineNeverFails(t *testing.T) {
+	input := sampleOutput +
+		"BenchmarkUngatedThing-8 100 10 ns/op 0 B/op 999999 allocs/op\n"
+	var sb strings.Builder
+	if err := run([]string{"-baseline", writeBaseline(t)}, strings.NewReader(input), &sb); err != nil {
+		t.Fatalf("ungated regression must not fail the gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "info  BenchmarkUngatedThing") {
+		t.Fatalf("ungated row not reported:\n%s", sb.String())
+	}
+}
+
+// TestGuardRequireFailsOnMissingBaseline pins the presence gate: a required
+// baseline absent from the bench output must fail with its own per-benchmark
+// error line instead of silently passing.
+func TestGuardRequireFailsOnMissingBaseline(t *testing.T) {
+	// Drop the SimReplication row from the output while still requiring it.
+	var kept []string
+	for _, line := range strings.Split(sampleOutput, "\n") {
+		if !strings.Contains(line, "SimReplication") {
+			kept = append(kept, line)
+		}
+	}
+	var sb strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t), "-require", "SimReplication|RunnerReplications"},
+		strings.NewReader(strings.Join(kept, "\n")), &sb)
+	if err == nil {
+		t.Fatalf("missing required baseline must fail\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL  BenchmarkSimReplication/devices=10: required baseline missing") {
+		t.Fatalf("missing baseline not named:\n%s", sb.String())
+	}
+	// The present required row is still reported as ok.
+	if !strings.Contains(sb.String(), "ok    BenchmarkRunnerReplications/workers=1") {
+		t.Fatalf("present baseline not reported:\n%s", sb.String())
+	}
+}
+
+// TestGuardRequirePassesWhenAllPresent: the same pattern passes when every
+// required row is in the output.
+func TestGuardRequirePassesWhenAllPresent(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t), "-require", "SimReplication|RunnerReplications"},
+		strings.NewReader(sampleOutput), &sb)
+	if err != nil {
+		t.Fatalf("err = %v\n%s", err, sb.String())
+	}
+}
+
+// TestGuardRequireRejectsDriftedPattern: a -require pattern matching no
+// baseline at all is itself an error (the gate would be vacuous).
+func TestGuardRequireRejectsDriftedPattern(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t), "-require", "NoSuchBenchmark"},
+		strings.NewReader(sampleOutput), &sb)
+	if err == nil || !strings.Contains(err.Error(), "matches no baseline") {
+		t.Fatalf("err = %v, want pattern-drift failure", err)
+	}
+}
+
+func TestGuardRequireRejectsBadRegexp(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-baseline", writeBaseline(t), "-require", "("},
+		strings.NewReader(sampleOutput), &sb)
+	if err == nil || !strings.Contains(err.Error(), "-require") {
+		t.Fatalf("err = %v, want regexp error", err)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	reproduce -runs 500           # match the paper's replication count
 //	reproduce -quick              # tiny smoke-scale pass
 //	reproduce -parexp             # overlap whole experiments, print in order
+//	reproduce -cluster h1:9631,h2:9631  # shard simulation sweeps over shardd workers
 //	reproduce -list               # list experiment ids
 //
 // Replications always fan out across the internal/runner pool (bounded by
@@ -18,6 +19,14 @@
 // overlaps whole experiments, which pays off when wall-clock-bound testbed
 // experiments can hide behind CPU-bound sweeps; shared scenario caches are
 // deduplicated, so overlapping experiments never repeat a sweep.
+//
+// -cluster routes every serializable simulation sweep through the
+// internal/cluster coordinator instead of the in-process pool: seed ranges
+// are dispatched to the listed cmd/shardd workers and failed workers'
+// ranges are reassigned. Merge order is unchanged, so the artifacts stay
+// bit-identical with and without a cluster; experiments whose
+// configurations cannot cross the wire (the ablation's policy factory) run
+// in-process as before.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"smartexp3/internal/cluster"
 	"smartexp3/internal/experiment"
 	"smartexp3/internal/report"
 	"smartexp3/internal/runner"
@@ -50,6 +60,7 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 0, "override base seed")
 		workers = fs.Int("workers", 0, "override worker count (default: GOMAXPROCS)")
 		parexp  = fs.Bool("parexp", false, "run whole experiments concurrently (results still print in order)")
+		clstr   = fs.String("cluster", "", "comma-separated shardd addresses to shard simulation sweeps across")
 		outDir  = fs.String("out", "results", "output directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +92,7 @@ func run(args []string) error {
 	if *workers > 0 {
 		opts.Workers = *workers
 	}
+	opts.Cluster = cluster.ParseShards(*clstr)
 
 	selected := defs
 	if *ids != "" {

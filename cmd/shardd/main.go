@@ -1,0 +1,62 @@
+// Command shardd is the replication-shard worker daemon of the cluster
+// layer: it listens for coordinator connections (cmd/simulate -shards,
+// cmd/reproduce -cluster, or internal/cluster.Run directly), compiles each
+// connection's job descriptor into a sim.Engine once, and executes the seed
+// ranges the coordinator assigns, streaming per-run results back.
+//
+// A shardd holds no batch state of its own: seeds derive deterministically
+// from the job descriptor and the global run index, so any worker (or the
+// coordinator itself) can re-run a range that a killed worker never
+// finished, with bit-identical results.
+//
+// Usage:
+//
+//	shardd                         # listen on 127.0.0.1:9631
+//	shardd -listen 0.0.0.0:9631    # accept coordinators from the network
+//	shardd -workers 8              # bound per-connection parallelism
+//
+// The protocol is unauthenticated and unencrypted (stdlib gob over TCP):
+// run shardd only on networks where every peer is trusted, exactly like a
+// memcached or a work-queue worker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"smartexp3/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shardd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("shardd", flag.ContinueOnError)
+	var (
+		listen  = fs.String("listen", "127.0.0.1:9631", "address to accept coordinator connections on")
+		workers = fs.Int("workers", 0, "parallelism per coordinator connection (default: GOMAXPROCS)")
+		quiet   = fs.Bool("quiet", false, "suppress per-connection log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	logger := log.New(os.Stderr, "shardd: ", log.LstdFlags)
+	opts := cluster.WorkerOptions{Workers: *workers}
+	if !*quiet {
+		opts.Logf = logger.Printf
+	}
+	logger.Printf("listening on %s", ln.Addr())
+	return cluster.Serve(ln, opts)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"smartexp3/internal/cluster"
+	"smartexp3/internal/core"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/runner"
+	"smartexp3/internal/sim"
+)
+
+// TestRunServesCoordinator boots the daemon exactly as main would (on an
+// ephemeral port) and drives a coordinator batch against it end to end.
+func TestRunServesCoordinator(t *testing.T) {
+	// Reserve an ephemeral port for the daemon.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- run([]string{"-listen", addr, "-quiet"}) }()
+
+	// Wait for the listener to come up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shardd never started listening: %v", err)
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("shardd exited early: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	cfg := sim.Config{
+		Topology: netmodel.Setting1(),
+		Devices:  sim.UniformDevices(4, core.AlgSmartEXP3),
+		Slots:    40,
+	}
+	batch := runner.Replications{Runs: 6, Seed: 9}
+	var local, remote []float64
+	if err := sim.Replicate(batch, cfg, func(_ int, res *sim.Result) error {
+		for d := range res.Devices {
+			local = append(local, res.Devices[d].DownloadMb)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	job, err := cluster.NewJob(batch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Run(job, []string{addr}, cluster.Options{}, func(_ int, res *sim.Result) error {
+		for d := range res.Devices {
+			remote = append(remote, res.Devices[d].DownloadMb)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("got %d downloads via shardd, want %d", len(remote), len(local))
+	}
+	for i := range local {
+		if local[i] != remote[i] {
+			t.Fatalf("download %d: %v via shardd, %v locally", i, remote[i], local[i])
+		}
+	}
+}
+
+// TestRunRejectsBadFlags pins flag handling.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-listen"}); err == nil {
+		t.Fatal("want an error for a missing flag value")
+	}
+	if err := run([]string{"-listen", "not-an-address"}); err == nil ||
+		!strings.Contains(err.Error(), "listen") {
+		t.Fatalf("want a listen error, got %v", err)
+	}
+}

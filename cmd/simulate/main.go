@@ -7,6 +7,7 @@
 //	simulate -topology uniform:5:11 -algorithm greedy
 //	simulate -topology foodcourt -algorithm exp3 -seed 7
 //	simulate -runs 32 -workers 8              # parallel Monte Carlo replication
+//	simulate -runs 96 -shards h1:9631,h2:9631 # shard the batch across workers
 //	simulate -config scenario.json            # declarative JSON scenario
 //	simulate -writeconfig scenario.json ...   # save the flags as a scenario
 //
@@ -14,6 +15,13 @@
 // worker pool: each replication gets its own RNG stream derived from -seed
 // and the run index, and results merge in run order, so the printed
 // aggregate is a pure function of the seed regardless of -workers.
+//
+// With -shards the batch is sharded across remote shardd workers
+// (cmd/shardd) through internal/cluster: seed ranges are dispatched over
+// TCP, a failed worker's unacknowledged ranges are reassigned, and results
+// merge in the same global run order — the aggregate lines are
+// byte-identical to an in-process run of the same seed, for any shard
+// count, even when workers die mid-batch.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"strings"
 
 	"smartexp3"
+	"smartexp3/internal/cluster"
 	"smartexp3/internal/runner"
 	"smartexp3/internal/scenario"
 	"smartexp3/internal/stats"
@@ -58,6 +67,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "random seed")
 		runs      = fs.Int("runs", 1, "Monte Carlo replications of the scenario")
 		workers   = fs.Int("workers", 0, "replication worker count (default: GOMAXPROCS)")
+		shards    = fs.String("shards", "", "comma-separated shardd addresses to shard replications across")
 		confPath  = fs.String("config", "", "run a JSON scenario file instead of the flags")
 		writePath = fs.String("writeconfig", "", "write the flag-defined scenario as JSON and exit")
 	)
@@ -117,8 +127,8 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *runs > 1 {
-		return runReplicated(cfg, *runs, *workers)
+	if *runs > 1 || *shards != "" {
+		return runReplicated(cfg, *runs, *workers, cluster.ParseShards(*shards))
 	}
 
 	res, err := smartexp3.Simulate(cfg)
@@ -166,10 +176,13 @@ func run(args []string) error {
 	return nil
 }
 
-// runReplicated executes the scenario runs times over the worker pool, each
+// runReplicated executes the scenario runs times — across the in-process
+// worker pool, or across remote shardd workers when shards are given — each
 // replication on its own RNG stream, and prints run-order-deterministic
-// aggregate statistics.
-func runReplicated(cfg smartexp3.SimConfig, runs, workers int) error {
+// aggregate statistics. Only the header line mentions the execution shape;
+// every aggregate line below it is byte-identical across worker and shard
+// counts.
+func runReplicated(cfg smartexp3.SimConfig, runs, workers int, shards []string) error {
 	var (
 		switches  []float64 // per device, pooled over runs
 		downloads []float64 // per run: median over devices (GB)
@@ -178,35 +191,60 @@ func runReplicated(cfg smartexp3.SimConfig, runs, workers int) error {
 		atEps     []float64
 		stable    int
 	)
+	merge := func(_ int, res *smartexp3.SimResult) error {
+		var dls []float64
+		for d := range res.Devices {
+			switches = append(switches, float64(res.Devices[d].Switches))
+			dls = append(dls, res.Devices[d].DownloadMb)
+		}
+		downloads = append(downloads, smartexp3.MbToGB(stats.Median(dls)))
+		fairness = append(fairness, smartexp3.MbToMB(stats.StdDev(dls)))
+		atNE = append(atNE, res.FracAtNE)
+		atEps = append(atEps, res.FracAtEps)
+		if res.StabilityValid && res.Stability.Stable {
+			stable++
+		}
+		return nil
+	}
+	batch := runner.Replications{Runs: runs, Workers: workers, Seed: cfg.Seed}
+	if len(shards) > 0 {
+		job, err := cluster.NewJob(batch, cfg)
+		if err != nil {
+			return err
+		}
+		opts := cluster.Options{
+			LocalWorkers: workers,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
+			},
+		}
+		if err := cluster.Run(job, shards, opts, merge); err != nil {
+			return err
+		}
+		fmt.Printf("replications         %d (shards %d)\n", runs, len(shards))
+		return printReplicated(cfg, runs, switches, downloads, fairness, atNE, atEps, stable)
+	}
 	eng, err := smartexp3.NewSimEngine(cfg)
 	if err != nil {
 		return err
 	}
-	batch := runner.Replications{Runs: runs, Workers: workers, Seed: cfg.Seed}
 	err = runner.MergePooled(batch,
 		eng.NewWorkspace,
 		func(ws *smartexp3.SimWorkspace, run int, seed int64) (*smartexp3.SimResult, error) {
 			return eng.Run(ws, seed)
 		},
-		func(_ int, res *smartexp3.SimResult) error {
-			var dls []float64
-			for d := range res.Devices {
-				switches = append(switches, float64(res.Devices[d].Switches))
-				dls = append(dls, res.Devices[d].DownloadMb)
-			}
-			downloads = append(downloads, smartexp3.MbToGB(stats.Median(dls)))
-			fairness = append(fairness, smartexp3.MbToMB(stats.StdDev(dls)))
-			atNE = append(atNE, res.FracAtNE)
-			atEps = append(atEps, res.FracAtEps)
-			if res.StabilityValid && res.Stability.Stable {
-				stable++
-			}
-			return nil
-		})
+		merge)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replications         %d (workers %d)\n", runs, runner.Workers(workers))
+	return printReplicated(cfg, runs, switches, downloads, fairness, atNE, atEps, stable)
+}
+
+// printReplicated emits the aggregate lines shared by the in-process and
+// sharded paths; CI's cluster smoke job diffs exactly these lines between a
+// sharded and a single-process run.
+func printReplicated(cfg smartexp3.SimConfig, runs int, switches, downloads, fairness, atNE, atEps []float64, stable int) error {
 	fmt.Printf("devices x slots      %d x %d\n", len(cfg.Devices), cfg.Slots)
 	fmt.Printf("switches/device      mean %.1f  sd %.1f\n", stats.Mean(switches), stats.StdDev(switches))
 	fmt.Printf("median download      mean %.2f GB  sd %.2f GB\n", stats.Mean(downloads), stats.StdDev(downloads))

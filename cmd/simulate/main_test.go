@@ -1,9 +1,14 @@
 package main
 
 import (
+	"io"
+	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"smartexp3/internal/cluster"
 )
 
 func TestParseTopology(t *testing.T) {
@@ -22,9 +27,21 @@ func TestParseTopology(t *testing.T) {
 		{give: "uniform:bad", wantErr: true},
 		{give: "uniform:x:11", wantErr: true},
 		{give: "uniform:5:y", wantErr: true},
-		{give: "metro:4:3", wantErr: true},
-		{give: "metro:0:3:2", wantErr: true},
-		{give: "metro:a:3:2", wantErr: true},
+		// Malformed metro specs must come back as errors, never panics:
+		// parseTopology validates the spec before Generate (which panics on
+		// invalid specs by contract) ever sees it.
+		{give: "metro:4:3", wantErr: true},                   // too few dimensions
+		{give: "metro:4:3:2:1", wantErr: true},               // too many dimensions
+		{give: "metro:0:3:2", wantErr: true},                 // zero areas
+		{give: "metro:-1:3:2", wantErr: true},                // negative areas
+		{give: "metro:a:3:2", wantErr: true},                 // non-numeric areas
+		{give: "metro:4:b:2", wantErr: true},                 // non-numeric APs
+		{give: "metro:4:3:c", wantErr: true},                 // non-numeric cells
+		{give: "metro:2:0:0", wantErr: true},                 // every area empty
+		{give: "metro:2:-1:2", wantErr: true},                // negative APs
+		{give: "metro:2:2:-2", wantErr: true},                // negative cells
+		{give: "metro:", wantErr: true},                      // nothing at all
+		{give: "metro:2:0:3", wantNets: 3, wantSpread: true}, // cells-only metro is valid
 		{give: "mars", wantErr: true},
 	}
 	for _, tt := range tests {
@@ -86,5 +103,69 @@ func TestWriteAndReplayConfig(t *testing.T) {
 func TestRunRejectsMissingConfig(t *testing.T) {
 	if err := run([]string{"-config", "/nonexistent/sc.json"}); err == nil {
 		t.Fatal("want error for missing config file")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-done
+	os.Stdout = orig
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return out
+}
+
+// aggregateLines drops the header ("replications N (workers|shards ...)")
+// and returns the aggregate block, which must be byte-identical across
+// execution shapes.
+func aggregateLines(t *testing.T, out string) string {
+	t.Helper()
+	_, rest, ok := strings.Cut(out, "\n")
+	if !ok || !strings.HasPrefix(out, "replications") {
+		t.Fatalf("unexpected replication output:\n%s", out)
+	}
+	return rest
+}
+
+// TestShardedAggregatesMatchInProcess is the CLI half of the acceptance
+// criterion: for a fixed seed, `simulate -runs N` and `simulate -runs N
+// -shards a,b` print byte-identical aggregate lines.
+func TestShardedAggregatesMatchInProcess(t *testing.T) {
+	args := []string{"-topology", "setting1", "-devices", "5", "-slots", "50", "-runs", "12", "-seed", "7"}
+	local := captureStdout(t, func() error { return run(args) })
+
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go cluster.Serve(ln, cluster.WorkerOptions{})
+		addrs = append(addrs, ln.Addr().String())
+	}
+	sharded := captureStdout(t, func() error {
+		return run(append(args, "-shards", strings.Join(addrs, ",")))
+	})
+
+	if aggregateLines(t, sharded) != aggregateLines(t, local) {
+		t.Fatalf("sharded aggregates differ from in-process:\nlocal:\n%s\nsharded:\n%s", local, sharded)
 	}
 }

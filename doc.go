@@ -60,6 +60,40 @@
 // areas) come from GenerateTopology / LargeTopology with SpreadDevices;
 // see examples/largetopology.
 //
+// # Architecture
+//
+// The execution stack is four layers, each adding one scaling axis on top
+// of the one below while preserving a single determinism contract:
+//
+//   - Engine (internal/sim): the compiled, immutable form of a simulation
+//     configuration — validated, defaulted, deep-copied, with cost tables
+//     and the epoch schedule precomputed. Engines are shared read-only
+//     across any number of goroutines.
+//   - Workspace (internal/sim): every piece of state one replication
+//     mutates, reset and reused run after run. Warm replications allocate
+//     exactly the Result they return: policies reinitialize in place, RNG
+//     streams reseed in lockstep (internal/rngutil), the Nash-equilibrium
+//     cache re-solves into pooled buffers (game.PrepareInto).
+//   - Runner (internal/runner): fans seeded replications across a bounded
+//     goroutine pool — one workspace per worker — and merges results in
+//     ascending run order from a single goroutine, so aggregates are
+//     bit-identical for every worker count.
+//   - Cluster (internal/cluster, cmd/shardd): shards a batch's run-index
+//     space across processes and machines over TCP/gob. Each worker owns
+//     its own engine and workspaces; the coordinator reassigns the ranges
+//     of failed workers and merges through the same single-goroutine
+//     ordered merge.
+//
+// The determinism contract ties the layers together: per-run seeds are a
+// pure function of (base seed, stream ids, run index) via
+// rngutil.ChildSeed; Engine.Run(ws, seed) is a pure function of (engine,
+// seed); and results always merge in ascending run order. Consequently the
+// same root seed yields byte-identical aggregates in one goroutine, across
+// any worker count, and across any shard count — even when a shard dies
+// mid-batch and its ranges are re-executed elsewhere. Both CLIs expose the
+// cluster layer (`simulate -shards`, `reproduce -cluster`); CI holds the
+// equality as an invariant.
+//
 // The examples directory contains runnable programs exercising the public
 // API end to end.
 package smartexp3

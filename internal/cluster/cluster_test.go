@@ -1,0 +1,455 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/criteria"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/runner"
+	"smartexp3/internal/sim"
+)
+
+// testConfig is a small but fully featured scenario: churn, mobility and
+// per-slot series, so the fingerprint covers every Result field class.
+func testConfig() sim.Config {
+	return sim.Config{
+		Topology: netmodel.FoodCourt(),
+		Devices: []sim.DeviceSpec{
+			{Algorithm: core.AlgSmartEXP3, Trajectory: []sim.AreaStay{
+				{FromSlot: 0, Area: netmodel.AreaFoodCourt},
+				{FromSlot: 30, Area: netmodel.AreaStudyArea},
+			}},
+			{Algorithm: core.AlgGreedy, Join: 5, Leave: 50},
+			{Algorithm: core.AlgSmartEXP3},
+			{Algorithm: core.AlgEXP3},
+			{Algorithm: core.AlgSmartEXP3NoReset},
+		},
+		Slots:   60,
+		Collect: sim.CollectOptions{Distance: true, Probabilities: true},
+	}
+}
+
+func testJob(t *testing.T, runs int) JobSpec {
+	t.Helper()
+	job, err := NewJob(runner.Replications{Runs: runs, Seed: 11, Stream: []int64{3}}, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// fingerprint folds a merged batch into a hex transcript: run order and
+// every float bit pattern matter, so any reordering, dropped run, double
+// merge or numeric drift changes it.
+func fingerprint() (merge func(run int, res *sim.Result) error, out *strings.Builder) {
+	var sb strings.Builder
+	return func(run int, res *sim.Result) error {
+		fmt.Fprintf(&sb, "%d:", run)
+		for d := range res.Devices {
+			fmt.Fprintf(&sb, "%x,%x,%d;", res.Devices[d].DownloadMb, res.Devices[d].DelaySeconds, res.Devices[d].Switches)
+		}
+		var distSum float64
+		for _, v := range res.Distance {
+			distSum += v
+		}
+		fmt.Fprintf(&sb, "%x,%x,%x|", res.FracAtNE, res.FracAtEps, distSum)
+		return nil
+	}, &sb
+}
+
+// startWorkers launches n in-process worker daemons on loopback listeners
+// and returns their addresses.
+func startWorkers(t *testing.T, n int, opts WorkerOptions) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go Serve(ln, opts)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// TestRunDeterministicAcrossShardCounts is the subsystem's acceptance
+// criterion: for a fixed root seed the merged aggregate is byte-identical
+// whether the batch runs in-process or over 1, 2 or 4 shards, at several
+// chunk sizes.
+func TestRunDeterministicAcrossShardCounts(t *testing.T) {
+	job := testJob(t, 24)
+
+	merge, want := fingerprint()
+	if err := Run(job, nil, Options{LocalWorkers: 1}, merge); err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("in-process run produced no results")
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		for _, chunk := range []int{0, 1, 5} {
+			t.Run(fmt.Sprintf("shards=%d/chunk=%d", shards, chunk), func(t *testing.T) {
+				addrs := startWorkers(t, shards, WorkerOptions{Workers: 2})
+				merge, got := fingerprint()
+				if err := Run(job, addrs, Options{ChunkSize: chunk, Logf: t.Logf}, merge); err != nil {
+					t.Fatal(err)
+				}
+				if got.String() != want.String() {
+					t.Fatal("sharded aggregate differs from the in-process aggregate")
+				}
+			})
+		}
+	}
+}
+
+// cutProxy forwards one TCP connection to backend and kills it after
+// forwarding cutAfter bytes of worker→coordinator traffic — a worker dying
+// mid result stream, as far as the coordinator can tell.
+func cutProxy(t *testing.T, backend string, cutAfter int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			up, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			down, err := net.Dial("tcp", backend)
+			if err != nil {
+				up.Close()
+				continue
+			}
+			go func() {
+				defer up.Close()
+				defer down.Close()
+				io.Copy(down, up)
+			}()
+			go func() {
+				defer up.Close()
+				defer down.Close()
+				io.CopyN(up, down, int64(cutAfter)) // then both sides close: mid-stream death
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestRunSurvivesWorkerKilledMidBatch kills one of two workers partway
+// through its result stream and asserts the aggregate still matches the
+// in-process run bit for bit: the unacknowledged ranges are reassigned to
+// the surviving worker.
+func TestRunSurvivesWorkerKilledMidBatch(t *testing.T) {
+	job := testJob(t, 24)
+	merge, want := fingerprint()
+	if err := Run(job, nil, Options{LocalWorkers: 1}, merge); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut points from mid-handshake to deep into the result stream.
+	for _, cutAfter := range []int{64, 2048, 16384} {
+		t.Run(fmt.Sprintf("cutAfter=%d", cutAfter), func(t *testing.T) {
+			addrs := startWorkers(t, 2, WorkerOptions{Workers: 1})
+			flaky := cutProxy(t, addrs[0], cutAfter)
+			var logMu sync.Mutex
+			var logs []string
+			logf := func(format string, args ...any) {
+				logMu.Lock()
+				logs = append(logs, fmt.Sprintf(format, args...))
+				logMu.Unlock()
+			}
+			merge, got := fingerprint()
+			err := Run(job, []string{flaky, addrs[1]}, Options{ChunkSize: 2, Logf: logf}, merge)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != want.String() {
+				t.Fatal("aggregate after worker death differs from the in-process aggregate")
+			}
+			logMu.Lock()
+			defer logMu.Unlock()
+			if len(logs) == 0 {
+				t.Fatal("expected the coordinator to log the shard failure")
+			}
+		})
+	}
+}
+
+// stallProxy forwards one TCP connection to backend but freezes the
+// worker→coordinator direction after stallAfter bytes — the connection
+// stays open, no FIN, no RST: a worker that hangs rather than dies.
+func stallProxy(t *testing.T, backend string, stallAfter int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			up, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			down, err := net.Dial("tcp", backend)
+			if err != nil {
+				up.Close()
+				continue
+			}
+			t.Cleanup(func() { up.Close(); down.Close() })
+			go io.Copy(down, up)
+			go func() {
+				io.CopyN(up, down, int64(stallAfter))
+				// Then go silent forever: keep both conns open, copy nothing.
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestRunSurvivesStalledWorker pins the frame-timeout path: a worker that
+// stops responding without closing its connection must be timed out, its
+// chunk reassigned, and the aggregate left bit-identical.
+func TestRunSurvivesStalledWorker(t *testing.T) {
+	job := testJob(t, 16)
+	merge, want := fingerprint()
+	if err := Run(job, nil, Options{LocalWorkers: 1}, merge); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startWorkers(t, 2, WorkerOptions{Workers: 1})
+	stalled := stallProxy(t, addrs[0], 4096)
+	merge2, got := fingerprint()
+	err := Run(job, []string{stalled, addrs[1]},
+		Options{ChunkSize: 2, FrameTimeout: 300 * time.Millisecond, Logf: t.Logf}, merge2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("aggregate after a stalled worker differs from the in-process aggregate")
+	}
+}
+
+// TestRunFallsBackWhenAllWorkersDie points the coordinator at one flaky
+// worker and one closed port: after both shards retire, the in-process
+// rescuer must finish the batch with an unchanged aggregate.
+func TestRunFallsBackWhenAllWorkersDie(t *testing.T) {
+	job := testJob(t, 16)
+	merge, want := fingerprint()
+	if err := Run(job, nil, Options{LocalWorkers: 1}, merge); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startWorkers(t, 1, WorkerOptions{Workers: 1})
+	flaky := cutProxy(t, addrs[0], 4096)
+	dead := reservedClosedPort(t)
+	merge2, got := fingerprint()
+	err := Run(job, []string{flaky, dead}, Options{ChunkSize: 2, LocalWorkers: 2, Logf: t.Logf}, merge2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("aggregate after total worker loss differs from the in-process aggregate")
+	}
+}
+
+// reservedClosedPort returns an address that is guaranteed closed: bound
+// once and released, so dialing it fails fast.
+func reservedClosedPort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestRunMatchesSimReplicate pins the cluster path against the established
+// in-process API: cluster.Run with no shards must equal sim.Replicate for
+// the same batch.
+func TestRunMatchesSimReplicate(t *testing.T) {
+	cfg := testConfig()
+	batch := runner.Replications{Runs: 12, Workers: 3, Seed: 11, Stream: []int64{3}}
+	mergeA, want := fingerprint()
+	if err := sim.Replicate(batch, cfg, mergeA); err != nil {
+		t.Fatal(err)
+	}
+	job, err := NewJob(batch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeB, got := fingerprint()
+	if err := Run(job, nil, Options{LocalWorkers: 3}, mergeB); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("cluster in-process run differs from sim.Replicate")
+	}
+}
+
+// TestShardable enumerates the process-local fields that must refuse to
+// serialize.
+func TestShardable(t *testing.T) {
+	base := testConfig()
+	if err := Shardable(base); err != nil {
+		t.Fatalf("plain config must be shardable: %v", err)
+	}
+	withFactory := base
+	withFactory.PolicyFactory = func(_ int, available []int, rng *rand.Rand) (core.Policy, error) {
+		return core.New(core.AlgEXP3, available, core.DefaultConfig(), rng)
+	}
+	withSampler := base
+	withSampler.WiFiDelay = constSampler(0.5)
+	withCore := base
+	withCore.Core = core.DefaultConfig()
+	// gob cannot distinguish empty from absent slices, so explicitly empty
+	// DeviceGroups/NetworkCosts would silently change meaning in flight.
+	withEmptyGroups := base
+	withEmptyGroups.DeviceGroups = [][]int{}
+	withEmptyCosts := base
+	withEmptyCosts.NetworkCosts = []criteria.Costs{}
+	for name, cfg := range map[string]sim.Config{
+		"policy-factory":     withFactory,
+		"custom-sampler":     withSampler,
+		"custom-core":        withCore,
+		"empty-devicegroups": withEmptyGroups,
+		"empty-networkcosts": withEmptyCosts,
+	} {
+		if err := Shardable(cfg); err == nil {
+			t.Errorf("%s: expected Shardable to refuse", name)
+		}
+		if _, err := NewJob(runner.Replications{Runs: 1}, cfg); err == nil {
+			t.Errorf("%s: expected NewJob to refuse", name)
+		}
+	}
+}
+
+type constSampler float64
+
+func (c constSampler) Sample(*rand.Rand) float64 { return float64(c) }
+
+// TestWorkerRejectsBadJob ships a descriptor that cannot compile (zero
+// slots); the coordinator must surface the rejection as a fatal error, not
+// retry it around the cluster.
+func TestWorkerRejectsBadJob(t *testing.T) {
+	job := testJob(t, 4)
+	job.Config.Slots = 0
+	addrs := startWorkers(t, 1, WorkerOptions{})
+	merge, _ := fingerprint()
+	err := Run(job, addrs, Options{}, merge)
+	if err == nil || !strings.Contains(err.Error(), "job rejected") {
+		t.Fatalf("want a job rejection error, got %v", err)
+	}
+}
+
+// TestWorkerRejectsVersionMismatch speaks a wrong protocol version and
+// expects a refusal at hello.
+func TestWorkerRejectsVersionMismatch(t *testing.T) {
+	addrs := startWorkers(t, 1, WorkerOptions{})
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, &envelope{Hello: &helloMsg{Version: protocolVersion + 1}}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.HelloAck == nil || env.HelloAck.Err == "" {
+		t.Fatalf("want a version refusal, got %+v", env)
+	}
+}
+
+// TestWorkerRejectsCorruptRange speaks the protocol by hand and sends a
+// range whose First+Count overflows int: the worker must drop the session
+// instead of executing out-of-batch run indices.
+func TestWorkerRejectsCorruptRange(t *testing.T) {
+	addrs := startWorkers(t, 1, WorkerOptions{})
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, &envelope{Hello: &helloMsg{Version: protocolVersion}}); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := readFrame(conn); err != nil || env.HelloAck == nil || env.HelloAck.Err != "" {
+		t.Fatalf("handshake failed: %+v, %v", env, err)
+	}
+	if err := writeFrame(conn, &envelope{Job: &jobMsg{Spec: testJob(t, 8)}}); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := readFrame(conn); err != nil || env.JobAck == nil || env.JobAck.Err != "" {
+		t.Fatalf("job rejected: %+v, %v", env, err)
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if err := writeFrame(conn, &envelope{Range: &rangeMsg{First: maxInt, Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The worker must close the connection without emitting a result.
+	if env, err := readFrame(conn); err == nil {
+		t.Fatalf("worker answered a corrupt range with %+v", env)
+	}
+}
+
+// TestFrameLengthGuards pins the framing hygiene: an oversized or zero
+// length prefix must be rejected before any allocation happens.
+func TestFrameLengthGuards(t *testing.T) {
+	for _, raw := range [][]byte{
+		{0xff, 0xff, 0xff, 0xff}, // ~4 GiB claim
+		{0x00, 0x00, 0x00, 0x00}, // zero-length frame
+	} {
+		if _, err := readFrame(strings.NewReader(string(raw))); err == nil {
+			t.Fatalf("frame header % x must be rejected", raw)
+		}
+	}
+}
+
+// TestParseShards pins the flag-value parsing both CLIs share.
+func TestParseShards(t *testing.T) {
+	for give, want := range map[string][]string{
+		"":                       nil,
+		" , ,":                   nil,
+		"h1:9631":                {"h1:9631"},
+		"h1:9631,h2:9631":        {"h1:9631", "h2:9631"},
+		" h1:9631 , , h2:9631 ,": {"h1:9631", "h2:9631"},
+	} {
+		got := ParseShards(give)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("ParseShards(%q) = %v, want %v", give, got, want)
+		}
+	}
+}
+
+// TestRunEmptyBatch is the zero-work edge: no runs, no connections, no
+// merges.
+func TestRunEmptyBatch(t *testing.T) {
+	job := testJob(t, 24)
+	job.Runs = 0
+	merge, out := fingerprint()
+	if err := Run(job, []string{"127.0.0.1:1"}, Options{}, merge); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("empty batch must not merge anything")
+	}
+}

@@ -1,0 +1,186 @@
+// Package cluster shards Monte Carlo replication batches across processes
+// and machines while preserving the runner's determinism contract: for a
+// fixed root seed, the merged aggregate is byte-identical whether a batch
+// runs in-process, on one shard, or on many — and whether or not a worker
+// dies mid-batch.
+//
+// # Roles
+//
+// A worker (Serve, wrapped by cmd/shardd) is a daemon owning one
+// sim.Engine + pooled Workspaces per coordinator connection: it receives a
+// compiled-config descriptor (JobSpec) once, then executes seed ranges
+// against it, streaming per-run results back. The coordinator (Run)
+// partitions the global run index space into contiguous ranges, hands them
+// to workers over TCP, reassigns ranges whose worker failed before
+// acknowledging them, and folds every result through the single-goroutine
+// ordered merge in ascending global run order.
+//
+// # Determinism contract
+//
+// Three properties make shard count (and worker failure) unobservable in
+// the output:
+//
+//   - Seeds are a pure function of (base seed, stream ids, global run
+//     index) via rngutil.ChildSeed — identical on every worker and in
+//     process, regardless of which shard executes the run.
+//   - sim.Engine.Run(ws, seed) is a pure function of (engine, seed), so
+//     re-running a reassigned range on another worker reproduces the same
+//     bits the dead worker would have produced.
+//   - The coordinator merges strictly in ascending global run order from a
+//     single goroutine, exactly like runner.MergeOrdered, so
+//     non-commutative folds see runs in the serial order.
+//
+// # Transport
+//
+// The wire protocol is deliberately boring: length-prefixed frames of
+// stdlib gob over stdlib TCP (see wire.go). There is no discovery, no
+// retry-with-backoff, no TLS — shardd is meant to run inside a trusted
+// cluster network behind the operator's own orchestration, and a dead or
+// unreachable worker is handled by the one mechanism that matters for
+// correctness: range reassignment.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"smartexp3/internal/criteria"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/runner"
+	"smartexp3/internal/sim"
+)
+
+// WireConfig is the serializable subset of sim.Config: everything except
+// the process-local fields (delay Samplers, the Gamma schedule and the
+// PolicyFactory are functions or interfaces and cannot cross the wire).
+// Workers apply the same deterministic defaults sim.NewEngine applies, so a
+// WireConfig names the same compiled engine in every process.
+type WireConfig struct {
+	Topology       netmodel.Topology
+	Devices        []sim.DeviceSpec
+	Slots          int
+	SlotSeconds    float64
+	GainScale      float64
+	NoiseStdDev    float64
+	EpsilonPercent float64
+	DeviceGroups   [][]int
+	Collect        sim.CollectOptions
+	Criteria       *criteria.Profile
+	NetworkCosts   []criteria.Costs
+}
+
+// Shardable reports whether cfg can be expressed as a WireConfig: it
+// returns nil exactly when FromSimConfig would succeed. Configurations
+// using custom delay samplers, a custom core schedule or a PolicyFactory
+// are process-local and must run in-process (sim.Replicate).
+func Shardable(cfg sim.Config) error {
+	if cfg.WiFiDelay != nil || cfg.CellularDelay != nil {
+		return errors.New("cluster: custom delay samplers cannot be serialized; workers apply the internal/dist defaults")
+	}
+	if cfg.Core.Gamma != nil {
+		return errors.New("cluster: a custom core.Config cannot be serialized; workers apply core.DefaultConfig")
+	}
+	if cfg.PolicyFactory != nil {
+		return errors.New("cluster: a PolicyFactory is process-local and cannot be serialized")
+	}
+	// gob encodes a zero-length slice field identically to an absent one, so
+	// a worker would decode nil and sim's defaulting would diverge from the
+	// in-process run (an explicitly empty DeviceGroups means "no groups",
+	// nil means "one group of everyone"). Refuse the ambiguous forms rather
+	// than silently changing the configuration in flight.
+	if cfg.DeviceGroups != nil && len(cfg.DeviceGroups) == 0 {
+		return errors.New("cluster: empty non-nil DeviceGroups does not survive serialization; use nil for the default grouping or list explicit groups")
+	}
+	if cfg.NetworkCosts != nil && len(cfg.NetworkCosts) == 0 {
+		return errors.New("cluster: empty non-nil NetworkCosts does not survive serialization; use nil for per-technology defaults")
+	}
+	return nil
+}
+
+// FromSimConfig converts a shardable sim.Config into its wire form. The
+// config's Seed is deliberately not carried: batch seeding belongs to the
+// JobSpec (see NewJob).
+func FromSimConfig(cfg sim.Config) (WireConfig, error) {
+	if err := Shardable(cfg); err != nil {
+		return WireConfig{}, err
+	}
+	return WireConfig{
+		Topology:       cfg.Topology,
+		Devices:        cfg.Devices,
+		Slots:          cfg.Slots,
+		SlotSeconds:    cfg.SlotSeconds,
+		GainScale:      cfg.GainScale,
+		NoiseStdDev:    cfg.NoiseStdDev,
+		EpsilonPercent: cfg.EpsilonPercent,
+		DeviceGroups:   cfg.DeviceGroups,
+		Collect:        cfg.Collect,
+		Criteria:       cfg.Criteria,
+		NetworkCosts:   cfg.NetworkCosts,
+	}, nil
+}
+
+// SimConfig converts the wire form back into a runnable configuration.
+// Fields absent from the wire (samplers, core schedule) stay zero and take
+// sim.NewEngine's deterministic defaults.
+func (w WireConfig) SimConfig() sim.Config {
+	return sim.Config{
+		Topology:       w.Topology,
+		Devices:        w.Devices,
+		Slots:          w.Slots,
+		SlotSeconds:    w.SlotSeconds,
+		GainScale:      w.GainScale,
+		NoiseStdDev:    w.NoiseStdDev,
+		EpsilonPercent: w.EpsilonPercent,
+		DeviceGroups:   w.DeviceGroups,
+		Collect:        w.Collect,
+		Criteria:       w.Criteria,
+		NetworkCosts:   w.NetworkCosts,
+	}
+}
+
+// JobSpec is the complete description of one replication batch: a wire
+// config plus the runner.Replications seeding parameters. Any process
+// holding a JobSpec derives exactly the same per-run seeds.
+type JobSpec struct {
+	Config WireConfig
+	// Runs is the total number of replications across all shards.
+	Runs int
+	// Seed is the batch's base seed; per-run seeds derive from it exactly
+	// as runner.Replications.SeedFor does.
+	Seed int64
+	// Stream namespaces the batch (see runner.Replications.Stream).
+	Stream []int64
+}
+
+// NewJob builds the wire descriptor for running batch over cfg on a
+// cluster. It fails when cfg is not shardable (see Shardable).
+func NewJob(batch runner.Replications, cfg sim.Config) (JobSpec, error) {
+	wc, err := FromSimConfig(cfg)
+	if err != nil {
+		return JobSpec{}, err
+	}
+	if batch.Runs < 0 {
+		return JobSpec{}, fmt.Errorf("cluster: negative run count %d", batch.Runs)
+	}
+	return JobSpec{Config: wc, Runs: batch.Runs, Seed: batch.Seed, Stream: batch.Stream}, nil
+}
+
+// batch reconstructs the runner batch the job describes. Workers is left to
+// the executing side: parallelism is a local choice, seeds are not.
+func (j JobSpec) batch() runner.Replications {
+	return runner.Replications{Runs: j.Runs, Seed: j.Seed, Stream: j.Stream}
+}
+
+// ParseShards parses a comma-separated shardd address list (the CLIs'
+// -shards / -cluster flag value): whitespace is trimmed, empty entries are
+// dropped, and an empty or all-empty value yields nil (meaning in-process).
+func ParseShards(flagValue string) []string {
+	var out []string
+	for _, addr := range strings.Split(flagValue, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			out = append(out, addr)
+		}
+	}
+	return out
+}

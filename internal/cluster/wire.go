@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"smartexp3/internal/sim"
+)
+
+// protocolVersion is bumped whenever the frame layout or message set changes
+// incompatibly. Coordinator and worker refuse to pair across versions, so a
+// stale shardd binary fails loudly at handshake instead of corrupting a
+// batch.
+const protocolVersion = 1
+
+// maxFrameBytes bounds a single frame. A per-run Result frame is dominated
+// by the optional per-slot series (Distance, GroupDistance, Selections,
+// Bitrates), which stay well under this for any configuration the
+// experiments run; the cap exists so a corrupt or hostile length prefix
+// cannot make a peer allocate unbounded memory.
+const maxFrameBytes = 64 << 20
+
+// envelope is the one-of union every frame carries: exactly one field is
+// non-nil. gob encodes nil pointers as absent, so the frame overhead of the
+// union is negligible, and a single stream can carry every message type
+// without out-of-band tagging.
+type envelope struct {
+	Hello     *helloMsg
+	HelloAck  *helloAckMsg
+	Job       *jobMsg
+	JobAck    *jobAckMsg
+	Range     *rangeMsg
+	RunResult *runResultMsg
+	RangeDone *rangeDoneMsg
+}
+
+// helloMsg opens a coordinator → worker session.
+type helloMsg struct {
+	Version int
+}
+
+// helloAckMsg accepts or rejects the session.
+type helloAckMsg struct {
+	Version int
+	Err     string
+}
+
+// jobMsg ships the batch descriptor: the worker compiles it into a
+// sim.Engine once and serves every subsequent range against it.
+type jobMsg struct {
+	Spec JobSpec
+}
+
+// jobAckMsg reports whether the descriptor compiled.
+type jobAckMsg struct {
+	Err string
+}
+
+// rangeMsg assigns the global run indices [First, First+Count) to the
+// worker.
+type rangeMsg struct {
+	First int
+	Count int
+}
+
+// runResultMsg streams one replication's result back. Workers emit results
+// in ascending run order within a range. sim.Result is plain exported data
+// (no interfaces, no functions), so it crosses the wire as-is; gob encodes
+// float64 bits exactly, which is what keeps remote aggregates byte-identical
+// to in-process ones.
+type runResultMsg struct {
+	Run int
+	Res *sim.Result
+}
+
+// rangeDoneMsg acknowledges a completed range. A non-empty Err means the
+// simulation itself failed — a deterministic job error the coordinator must
+// surface, not a transport failure it may retry.
+type rangeDoneMsg struct {
+	First int
+	Err   string
+}
+
+// writeFrame gob-encodes env and writes it as one length-prefixed frame.
+// Each frame is encoded by a fresh encoder, so frames are self-contained:
+// a reassigned range replays cleanly on a new connection with no shared
+// encoder state to reconstruct.
+func writeFrame(w io.Writer, env *envelope) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4)) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("cluster: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	payload := len(b) - 4
+	if payload > maxFrameBytes {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds the %d byte cap", payload, maxFrameBytes)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("cluster: write frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame and decodes its envelope.
+func readFrame(r io.Reader) (*envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF signals a clean close between frames
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameBytes {
+		return nil, fmt.Errorf("cluster: frame length %d outside (0, %d]", n, maxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("cluster: read frame body: %w", err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("cluster: decode frame: %w", err)
+	}
+	return &env, nil
+}

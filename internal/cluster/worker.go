@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"smartexp3/internal/runner"
+	"smartexp3/internal/sim"
+)
+
+// WorkerOptions configures a worker daemon.
+type WorkerOptions struct {
+	// Workers bounds the parallelism each coordinator connection fans a
+	// range across; 0 or less means GOMAXPROCS. Parallelism is a local
+	// choice and never affects results (runner's determinism contract).
+	Workers int
+	// Logf, when non-nil, receives connection-level progress and failure
+	// lines.
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Serve accepts coordinator connections on ln until the listener is closed,
+// handling each connection on its own goroutine. It returns nil when ln
+// closes. This is the body of cmd/shardd; tests drive it directly on
+// loopback listeners.
+func Serve(ln net.Listener, opts WorkerOptions) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		go func() {
+			defer conn.Close()
+			if err := serveConn(conn, opts); err != nil {
+				opts.logf("cluster: connection from %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// serveConn speaks one coordinator session: handshake, one job, then a
+// range loop until the coordinator closes the connection.
+func serveConn(conn net.Conn, opts WorkerOptions) error {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	env, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if env.Hello == nil {
+		return errors.New("protocol: expected hello")
+	}
+	ack := helloAckMsg{Version: protocolVersion}
+	if env.Hello.Version != protocolVersion {
+		ack.Err = fmt.Sprintf("protocol version %d, worker speaks %d", env.Hello.Version, protocolVersion)
+	}
+	if err := writeFrame(bw, &envelope{HelloAck: &ack}); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if ack.Err != "" {
+		return errors.New(ack.Err)
+	}
+
+	env, err = readFrame(br)
+	if err != nil {
+		return fmt.Errorf("reading job: %w", err)
+	}
+	if env.Job == nil {
+		return errors.New("protocol: expected job")
+	}
+	exec, err := newRangeExec(env.Job.Spec, opts.Workers)
+	var jobAck jobAckMsg
+	if err != nil {
+		jobAck.Err = err.Error()
+	}
+	if err := writeFrame(bw, &envelope{JobAck: &jobAck}); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if jobAck.Err != "" {
+		return errors.New(jobAck.Err)
+	}
+	opts.logf("cluster: %s: job accepted (%d devices, %d slots, %d runs)",
+		conn.RemoteAddr(), len(env.Job.Spec.Config.Devices), env.Job.Spec.Config.Slots, env.Job.Spec.Runs)
+
+	for {
+		env, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // coordinator finished and closed the session
+			}
+			return err
+		}
+		r := env.Range
+		if r == nil {
+			return errors.New("protocol: expected range")
+		}
+		// Overflow-safe bounds check: First+Count could wrap for a corrupt
+		// frame with First near MaxInt, so compare against the remaining
+		// headroom instead of the sum.
+		if r.First < 0 || r.Count <= 0 || r.First > exec.job.Runs || r.Count > exec.job.Runs-r.First {
+			return fmt.Errorf("protocol: range [first=%d, count=%d) outside batch of %d runs", r.First, r.Count, exec.job.Runs)
+		}
+		runErr := exec.run(r.First, r.Count, func(run int, res *sim.Result) error {
+			// Flush per result, not per range: the coordinator's
+			// FrameTimeout is a progress timeout, so every finished run
+			// must reach the wire promptly — a slow chunk buffered until
+			// RangeDone would look like a stalled worker.
+			if err := writeFrame(bw, &envelope{RunResult: &runResultMsg{Run: run, Res: res}}); err != nil {
+				return err
+			}
+			return bw.Flush()
+		})
+		done := rangeDoneMsg{First: r.First}
+		if runErr != nil {
+			// Distinguish simulation errors (report to the coordinator, keep
+			// serving) from transport errors (the connection is gone).
+			var wErr *writeError
+			if errors.As(runErr, &wErr) {
+				return wErr.err
+			}
+			done.Err = runErr.Error()
+		}
+		if err := writeFrame(bw, &envelope{RangeDone: &done}); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// writeError marks emit failures so rangeExec.run callers can tell "the
+// simulation failed" from "the connection failed".
+type writeError struct{ err error }
+
+func (w *writeError) Error() string { return w.err.Error() }
+func (w *writeError) Unwrap() error { return w.err }
+
+// rangeExec executes contiguous run ranges of one job against one compiled
+// engine, reusing a pool of workspaces across ranges. It is the execution
+// core shared by the worker daemon and the coordinator's in-process
+// fallback.
+type rangeExec struct {
+	job     JobSpec
+	eng     *sim.Engine
+	batch   runner.Replications
+	workers int
+	poolMu  sync.Mutex
+	pool    []*sim.Workspace // idle workspaces, reused across ranges
+}
+
+// newRangeExec compiles the job's config once.
+func newRangeExec(job JobSpec, workers int) (*rangeExec, error) {
+	eng, err := sim.NewEngine(job.Config.SimConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &rangeExec{
+		job:     job,
+		eng:     eng,
+		batch:   job.batch(),
+		workers: runner.Workers(workers),
+	}, nil
+}
+
+// run executes the global run indices [first, first+count), calling emit in
+// ascending run order from this goroutine (runner.MergeOrderedPooled's
+// single-merger guarantee). Workspaces are drawn from the exec's pool and
+// returned afterwards, so steady-state ranges allocate no simulation state.
+// An emit failure is returned wrapped in *writeError.
+func (x *rangeExec) run(first, count int, emit func(run int, res *sim.Result) error) error {
+	// Lend pooled workspaces to the worker goroutines. MergeOrderedPooled
+	// joins every worker before returning, so the pool is quiescent again
+	// afterwards; lent tracks how many were taken to support concurrent
+	// newState calls without double-handing a workspace.
+	var lent int
+	newState := func() *sim.Workspace {
+		x.poolMu.Lock()
+		defer x.poolMu.Unlock()
+		if lent < len(x.pool) {
+			ws := x.pool[lent]
+			lent++
+			return ws
+		}
+		ws := x.eng.NewWorkspace()
+		x.pool = append(x.pool, ws)
+		lent++
+		return ws
+	}
+	return runner.MergeOrderedPooled(x.workers, count, newState,
+		func(ws *sim.Workspace, i int) (*sim.Result, error) {
+			run := first + i
+			return x.eng.Run(ws, x.batch.SeedFor(run))
+		},
+		func(i int, res *sim.Result) error {
+			if err := emit(first+i, res); err != nil {
+				return &writeError{err: err}
+			}
+			return nil
+		})
+}

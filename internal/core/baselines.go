@@ -9,15 +9,16 @@ import (
 // random order, then always select the network with the highest observed
 // average gain (updating that network's average as it goes).
 type Greedy struct {
-	rng       *rand.Rand
-	available []int
-	index     map[int]int
-	explore   []int // local indices pending exploration
-	sumGain   []float64
-	cntGain   []int
-	cur       int
-	switches  int
-	last      int
+	rng        *rand.Rand
+	available  []int
+	availSpare []int // retired availability slice, recycled by SetAvailable
+	index      map[int]int
+	explore    []int // local indices pending exploration
+	sumGain    []float64
+	cntGain    []int
+	cur        int
+	switches   int
+	last       int
 }
 
 var (
@@ -79,7 +80,8 @@ func (g *Greedy) Observe(gain float64) {
 // SetAvailable implements Policy. Gain statistics of retained networks are
 // kept; newly visible networks are queued for one exploration slot each.
 func (g *Greedy) SetAvailable(networks []int) {
-	next := sortedCopy(networks)
+	next := sortedInto(g.availSpare, networks)
+	g.availSpare = next
 	if len(next) == 0 || equalInts(next, g.available) {
 		return
 	}
@@ -89,7 +91,9 @@ func (g *Greedy) SetAvailable(networks []int) {
 		sums[id] = g.sumGain[li]
 		cnts[id] = g.cntGain[li]
 	}
+	spare := g.available
 	g.rebuild(next, sums, cnts)
+	g.availSpare = spare
 }
 
 func (g *Greedy) rebuild(next []int, sums map[int]float64, cnts map[int]int) {
@@ -150,15 +154,16 @@ func (g *Greedy) bestAverage() int {
 // (György & Ottucsák-style adaptive routing); it then selects a network at
 // random according to the weights.
 type FullInformation struct {
-	rng       *rand.Rand
-	available []int
-	index     map[int]int
-	logW      []float64
-	probs     []float64
-	slot      int
-	cur       int
-	switches  int
-	last      int
+	rng        *rand.Rand
+	available  []int
+	availSpare []int // retired availability slice, recycled by SetAvailable
+	index      map[int]int
+	logW       []float64
+	probs      []float64
+	slot       int
+	cur        int
+	switches   int
+	last       int
 }
 
 var (
@@ -245,7 +250,8 @@ func (f *FullInformation) ObserveAll(gains []float64) {
 
 // SetAvailable implements Policy.
 func (f *FullInformation) SetAvailable(networks []int) {
-	next := sortedCopy(networks)
+	next := sortedInto(f.availSpare, networks)
+	f.availSpare = next
 	if len(next) == 0 || equalInts(next, f.available) {
 		return
 	}
@@ -253,7 +259,9 @@ func (f *FullInformation) SetAvailable(networks []int) {
 	for li, id := range f.available {
 		prior[id] = f.logW[li]
 	}
+	spare := f.available
 	f.rebuildFull(next, prior)
+	f.availSpare = spare
 }
 
 func (f *FullInformation) rebuildFull(next []int, prior map[int]float64) {
@@ -296,9 +304,10 @@ func (f *FullInformation) computeProbs() {
 // random and never leaves it (unless the network disappears, in which case
 // it picks again among the remaining networks).
 type FixedRandom struct {
-	rng       *rand.Rand
-	available []int
-	choice    int // global id, -1 until first Select
+	rng        *rand.Rand
+	available  []int
+	availSpare []int // retired availability slice, recycled by SetAvailable
+	choice     int   // global id, -1 until first Select
 }
 
 var (
@@ -339,10 +348,12 @@ func (r *FixedRandom) Observe(float64) {}
 
 // SetAvailable implements Policy.
 func (r *FixedRandom) SetAvailable(networks []int) {
-	next := sortedCopy(networks)
+	next := sortedInto(r.availSpare, networks)
+	r.availSpare = next
 	if len(next) == 0 {
 		return
 	}
+	r.availSpare = r.available
 	r.available = next
 	if r.choice < 0 {
 		return

@@ -323,16 +323,9 @@ func clamp01(g float64) float64 {
 	return g
 }
 
-func sortedCopy(xs []int) []int {
-	out := make([]int, len(xs))
-	copy(out, xs)
-	sort.Ints(out)
-	return out
-}
-
 // sortedInto copies xs into dst's backing array (growing it as needed) and
-// sorts the result ascending. Reinit paths use it to avoid the allocation of
-// sortedCopy; xs may alias dst.
+// sorts the result ascending. Reinit and SetAvailable paths use it to avoid
+// allocating a fresh sorted copy; xs may alias dst.
 func sortedInto(dst, xs []int) []int {
 	dst = append(dst[:0], xs...)
 	sort.Ints(dst)

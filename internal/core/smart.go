@@ -21,9 +21,10 @@ type SmartEXP3 struct {
 	cfg  Config
 	rng  *rand.Rand
 
-	available []int       // global network ids, ascending
-	index     map[int]int // global id → local index
-	k         int
+	available  []int       // global network ids, ascending
+	availSpare []int       // retired availability slice, recycled as the next SetAvailable sort buffer
+	index      map[int]int // global id → local index
+	k          int
 
 	w     weightSet // arm weights with O(log k) update and draw
 	probs []float64 // selection distribution, filled lazily (ensureProbs)
@@ -236,7 +237,11 @@ func (p *SmartEXP3) Observe(gain float64) {
 
 // SetAvailable implements Policy.
 func (p *SmartEXP3) SetAvailable(networks []int) {
-	next := sortedCopy(networks)
+	// Sort into the retired availability buffer instead of allocating: a
+	// device that changes service area every slot (mobility churn) calls
+	// this on every area change, and the two buffers simply ping-pong.
+	next := sortedInto(p.availSpare, networks)
+	p.availSpare = next
 	if len(next) == 0 || equalInts(next, p.available) {
 		return
 	}
@@ -279,7 +284,9 @@ func (p *SmartEXP3) SetAvailable(networks []int) {
 		}
 	}
 
+	spare := p.available
 	p.rebuild(next, p.snapshot())
+	p.availSpare = spare
 
 	if needReset {
 		p.needBlock = true

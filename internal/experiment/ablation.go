@@ -62,7 +62,7 @@ func runAblation(o Options) (*report.Report, error) {
 			fairness []float64
 			lateDist []float64
 		)
-		err := sim.Replicate(o.replications(o.Runs, 1600, int64(vi)),
+		err := o.replicate(o.replications(o.Runs, 1600, int64(vi)),
 			sim.Config{
 				Topology: netmodel.Setting1(),
 				Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3),

@@ -137,7 +137,7 @@ func dynamicAggFor(o Options, scenario int, alg core.Algorithm) (*dynamicAgg, er
 				agg.GroupDistance[g] = stats.NewSeries(o.Slots)
 			}
 		}
-		err := sim.Replicate(o.replications(o.Runs, 700, int64(scenario), int64(alg)),
+		err := o.replicate(o.replications(o.Runs, 700, int64(scenario), int64(alg)),
 			dynamicConfig(scenario, o, alg, 0),
 			func(_ int, res *sim.Result) error {
 				agg.Distance.AddRun(res.Distance)
@@ -309,7 +309,7 @@ func runFig11(o Options) (*report.Report, error) {
 		}
 		smartSeries := stats.NewSeries(o.Slots)
 		greedySeries := stats.NewSeries(o.Slots)
-		err := sim.Replicate(o.replications(o.Runs, 1100, int64(si)),
+		err := o.replicate(o.replications(o.Runs, 1100, int64(si)),
 			sim.Config{
 				Topology:     netmodel.Setting1(),
 				Devices:      devices,

@@ -11,11 +11,15 @@
 package experiment
 
 import (
+	"fmt"
+	"os"
 	"sort"
 	"time"
 
+	"smartexp3/internal/cluster"
 	"smartexp3/internal/report"
 	"smartexp3/internal/runner"
+	"smartexp3/internal/sim"
 )
 
 // Options scales every experiment. The zero value is unusable; start from
@@ -33,6 +37,12 @@ type Options struct {
 	Seed int64
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Cluster lists shardd worker addresses; when set, replication batches
+	// whose configuration is serializable run across the cluster layer
+	// (internal/cluster) instead of the in-process pool. Results are
+	// byte-identical either way; configurations that cannot cross the wire
+	// (the ablation's PolicyFactory) silently stay in-process.
+	Cluster []string
 
 	// ScaleRuns and ScaleSlots control the Figure 6 scalability sweep
 	// (paper: 500 runs of 8640 slots).
@@ -103,6 +113,34 @@ func (o Options) replications(n int, stream ...int64) runner.Replications {
 		Seed:    o.Seed,
 		Stream:  stream,
 	}
+}
+
+// replicate runs one replication batch: across the configured cluster when
+// possible, in-process otherwise. Every experiment's simulation sweeps go
+// through here, so `reproduce -cluster host:port,...` shards the whole
+// suite without any per-experiment wiring. The merge order — ascending run
+// index from a single goroutine — is identical on both paths, which keeps
+// the emitted artifacts byte-identical with and without a cluster.
+func (o Options) replicate(batch runner.Replications, cfg sim.Config, merge func(run int, res *sim.Result) error) error {
+	if len(o.Cluster) > 0 && cluster.Shardable(cfg) == nil {
+		job, err := cluster.NewJob(batch, cfg)
+		if err != nil {
+			return err
+		}
+		opts := cluster.Options{
+			LocalWorkers: batch.Workers,
+			// Shard failures and the all-workers-dead in-process rescue are
+			// survivable by design, but never silent: a typo'd -cluster
+			// address must not masquerade as a distributed run.
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "reproduce: "+format+"\n", args...)
+			},
+		}
+		return cluster.Run(job, o.Cluster, opts, merge)
+	}
+	// No cluster, or a config that cannot cross the wire (custom
+	// factory/sampler): run in-process.
+	return sim.Replicate(batch, cfg, merge)
 }
 
 // Definition describes one runnable experiment.

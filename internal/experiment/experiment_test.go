@@ -1,12 +1,17 @@
 package experiment
 
 import (
+	"fmt"
+	"net"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"smartexp3/internal/cluster"
 	"smartexp3/internal/core"
+	"smartexp3/internal/netmodel"
+	"smartexp3/internal/sim"
 )
 
 func TestRegistryIDsUnique(t *testing.T) {
@@ -196,6 +201,60 @@ func TestScalabilityExperimentSmoke(t *testing.T) {
 	}
 	if len(rep.Tables) != 1 || len(rep.Tables[0].Rows) != 6 {
 		t.Fatalf("fig6 table shape wrong: %+v", rep.Tables)
+	}
+}
+
+// TestReplicateClusterMatchesInProcess pins the experiment suite's cluster
+// hook: o.replicate with shardd workers configured must merge the exact
+// result stream the in-process path merges. (Experiment-level caches key on
+// scenario parameters, not on Cluster, precisely because the two paths are
+// interchangeable.)
+func TestReplicateClusterMatchesInProcess(t *testing.T) {
+	cfg := sim.Config{
+		Topology: netmodel.Setting1(),
+		Devices:  sim.UniformDevices(5, core.AlgSmartEXP3),
+		Slots:    50,
+		Collect:  sim.CollectOptions{Distance: true, Probabilities: true},
+	}
+	o := tinyOptions()
+	fp := func(o Options) string {
+		var sb strings.Builder
+		err := o.replicate(o.replications(10, 77), cfg, func(run int, res *sim.Result) error {
+			fmt.Fprintf(&sb, "%d:", run)
+			for d := range res.Devices {
+				fmt.Fprintf(&sb, "%x;", res.Devices[d].DownloadMb)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	want := fp(o)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go cluster.Serve(ln, cluster.WorkerOptions{})
+	o.Cluster = []string{ln.Addr().String()}
+	if got := fp(o); got != want {
+		t.Fatal("cluster replicate stream differs from in-process")
+	}
+}
+
+// TestAblationRunsWithClusterConfigured pins the fallback: the ablation's
+// PolicyFactory cannot cross the wire, so a configured cluster must not
+// break it — it silently runs in-process.
+func TestAblationRunsWithClusterConfigured(t *testing.T) {
+	o := tinyOptions()
+	o.Runs = 2
+	o.Seed = 424242                     // unique cell: never cached by other tests
+	o.Cluster = []string{"127.0.0.1:1"} // nothing listens here; must not matter
+	if _, err := runAblation(o); err != nil {
+		t.Fatal(err)
 	}
 }
 

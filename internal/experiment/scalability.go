@@ -45,7 +45,7 @@ func runFig6(o Options) (*report.Report, error) {
 			stable   int
 			atNE     int
 		)
-		err := sim.Replicate(o.replications(o.ScaleRuns, 600, int64(ci)),
+		err := o.replicate(o.replications(o.ScaleRuns, 600, int64(ci)),
 			sim.Config{
 				Topology: netmodel.Uniform(c.networks, 11),
 				Devices:  sim.UniformDevices(c.devices, core.AlgSmartEXP3NoReset),

@@ -66,7 +66,7 @@ func staticAggFor(o Options, setting int, alg core.Algorithm) (*staticAgg, error
 			Devices:  o.Devices,
 			Distance: stats.NewSeries(o.Slots),
 		}
-		err := sim.Replicate(o.replications(o.Runs, int64(setting), int64(alg)),
+		err := o.replicate(o.replications(o.Runs, int64(setting), int64(alg)),
 			sim.Config{
 				Topology: settingTopology(setting),
 				Devices:  sim.UniformDevices(o.Devices, alg),

@@ -35,7 +35,7 @@ func runTheorem2(o Options) (*report.Report, error) {
 			if runs < 4 {
 				runs = 4
 			}
-			err := sim.Replicate(o.replications(runs, 1500, int64(k), int64(T)),
+			err := o.replicate(o.replications(runs, 1500, int64(k), int64(T)),
 				sim.Config{
 					Topology: netmodel.Uniform(k, 11),
 					Devices:  sim.UniformDevices(o.Devices, core.AlgSmartEXP3NoReset),

@@ -181,8 +181,30 @@ func (in Instance) NashAssignment() []int {
 // seed seeds every device greedily. The Centralized baseline uses this to
 // carry assignments across environment changes with minimal churn.
 func (in Instance) NashAssignmentFrom(seed []int) []int {
-	counts := make([]int, len(in.Bandwidths))
-	assign := make([]int, len(in.Devices))
+	var s AssignScratch
+	return in.NashAssignmentFromScratch(seed, &s)
+}
+
+// AssignScratch holds the reusable buffers of repeated NashAssignmentFrom
+// solves. The zero value is ready to use; buffers grow on demand and are
+// kept across calls, so an epoch-heavy simulation solves every refresh
+// without allocating. A scratch must not be shared between goroutines.
+type AssignScratch struct {
+	assign []int
+	counts []int
+}
+
+// NashAssignmentFromScratch is NashAssignmentFrom evaluated through reusable
+// scratch buffers. The returned assignment aliases the scratch and is only
+// valid until the next call with the same scratch; callers that need to keep
+// it must copy it out.
+func (in Instance) NashAssignmentFromScratch(seed []int, s *AssignScratch) []int {
+	s.counts = growInts(s.counts, len(in.Bandwidths))
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.assign = growInts(s.assign, len(in.Devices))
+	counts, assign := s.counts, s.assign
 
 	// Seed: keep requested placements when valid, otherwise join the best
 	// marginal-share network.
@@ -305,6 +327,23 @@ func (in Instance) DistanceToNashGrouped(currentGains []float64) float64 {
 		worst = math.Max(worst, DistanceToNash(cur, ne))
 	}
 	return worst
+}
+
+// growInts returns a slice of length n reusing s's backing array when
+// possible. Contents are unspecified; callers overwrite every element.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats is growInts for float64 slices.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 func contains(xs []int, x int) bool {

@@ -13,43 +13,65 @@ type PreparedNE struct {
 	shares  []float64 // per-device gain at the cached NE assignment
 	groupOf []int     // availability-group id per device (first-occurrence order)
 	nGroups int
-	assign  []int // the cached NE assignment
+	assign  []int         // the cached NE assignment
+	solver  AssignScratch // NE solve buffers, reused across epochs
+	reps    [][]int       // one representative availability set per group
 }
 
 // Prepare solves the instance once and returns the cached solution. Devices
 // are partitioned into availability groups (identical availability sets) in
 // first-occurrence order; Definition 3 rank-matches gains within each group.
+//
+// Callers that re-solve on every epoch (the simulator's workspace) should
+// keep one PreparedNE and call PrepareInto instead, which reuses its buffers.
 func Prepare(in Instance) (*PreparedNE, error) {
-	if err := in.Validate(); err != nil {
+	p := &PreparedNE{}
+	if err := p.PrepareInto(in); err != nil {
 		return nil, err
 	}
-	assign := in.NashAssignment()
-	p := &PreparedNE{
-		shares:  in.SharesOf(assign),
-		groupOf: make([]int, len(in.Devices)),
-		assign:  assign,
+	return p, nil
+}
+
+// PrepareInto re-solves the instance into p in place, reusing every buffer a
+// previous solve left behind: after the first epoch of a replication,
+// refreshing the NE cache allocates nothing. The cached solution is
+// overwritten, so slices previously obtained from Assignment are invalidated.
+// The result is identical to a fresh Prepare of the same instance.
+func (p *PreparedNE) PrepareInto(in Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	assign := in.NashAssignmentFromScratch(nil, &p.solver)
+	p.assign = growInts(p.assign, len(assign))
+	copy(p.assign, assign)
+	// The solver's counts are the occupancy of the final assignment, so the
+	// NE shares follow without a recount.
+	p.shares = growFloats(p.shares, len(in.Devices))
+	for d, i := range p.assign {
+		p.shares[d] = Share(in.Bandwidths[i], p.solver.counts[i])
 	}
 	// Group devices by availability set. The scan is quadratic in the number
 	// of distinct groups, which is small (a topology has few areas); it
 	// avoids the per-device string signatures the previous implementation
 	// allocated.
-	reps := make([][]int, 0, 4)
+	p.groupOf = growInts(p.groupOf, len(in.Devices))
+	p.reps = p.reps[:0]
 	for d, dev := range in.Devices {
 		g := -1
-		for i, rep := range reps {
+		for i, rep := range p.reps {
 			if sameAvailability(rep, dev.Available) {
 				g = i
 				break
 			}
 		}
 		if g < 0 {
-			g = len(reps)
-			reps = append(reps, dev.Available)
+			g = len(p.reps)
+			p.reps = append(p.reps, dev.Available)
 		}
 		p.groupOf[d] = g
 	}
-	p.nGroups = len(reps)
-	return p, nil
+	p.nGroups = len(p.reps)
+	return nil
 }
 
 // sameAvailability reports whether two availability sets contain the same

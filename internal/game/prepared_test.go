@@ -1,0 +1,101 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// heterogeneousInstance builds a game with several availability groups and
+// enough devices to make rank-matching non-trivial.
+func heterogeneousInstance(devices int, rng *rand.Rand) Instance {
+	avail := [][]int{{0, 1, 2}, {0, 3}, {0, 4}, {1, 2, 3, 4}}
+	in := Instance{Bandwidths: []float64{16, 14, 22, 7, 4}}
+	for d := 0; d < devices; d++ {
+		in.Devices = append(in.Devices, Device{Available: avail[rng.Intn(len(avail))]})
+	}
+	return in
+}
+
+// TestPrepareIntoMatchesFresh pins the pooling contract: re-solving many
+// different instances through one reused PreparedNE must give the same
+// assignment, shares, grouping and distances as a fresh Prepare of each.
+func TestPrepareIntoMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pooled PreparedNE
+	for trial := 0; trial < 40; trial++ {
+		in := heterogeneousInstance(3+rng.Intn(12), rng)
+		if err := pooled.PrepareInto(in); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Prepare(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pooled.Assignment()) != len(fresh.Assignment()) {
+			t.Fatalf("trial %d: assignment lengths differ", trial)
+		}
+		gains := make([]float64, len(in.Devices))
+		for d := range gains {
+			if pooled.Assignment()[d] != fresh.Assignment()[d] {
+				t.Fatalf("trial %d: device %d assigned %d (pooled) vs %d (fresh)",
+					trial, d, pooled.Assignment()[d], fresh.Assignment()[d])
+			}
+			if pooled.ShareOf(d) != fresh.ShareOf(d) {
+				t.Fatalf("trial %d: device %d share %v (pooled) vs %v (fresh)",
+					trial, d, pooled.ShareOf(d), fresh.ShareOf(d))
+			}
+			gains[d] = rng.Float64() * 22
+		}
+		if got, want := pooled.Distance(gains, nil), fresh.Distance(gains, nil); got != want {
+			t.Fatalf("trial %d: distance %v (pooled) vs %v (fresh)", trial, got, want)
+		}
+	}
+}
+
+// TestPrepareIntoWarmAllocations asserts the pooling pay-off: once a
+// PreparedNE has solved an instance of a given size, re-solving the same
+// shape allocates nothing.
+func TestPrepareIntoWarmAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := heterogeneousInstance(20, rng)
+	var p PreparedNE
+	if err := p.PrepareInto(in); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := p.PrepareInto(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm PrepareInto allocates %.1f objects, want 0", avg)
+	}
+}
+
+// TestNashAssignmentFromScratchMatches pins the scratch solver against the
+// allocating entry point, including seeded (minimal-churn) solves.
+func TestNashAssignmentFromScratchMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var scratch AssignScratch
+	for trial := 0; trial < 40; trial++ {
+		in := heterogeneousInstance(2+rng.Intn(10), rng)
+		var seed []int
+		if trial%2 == 1 {
+			seed = make([]int, len(in.Devices))
+			for d := range seed {
+				seed[d] = rng.Intn(len(in.Bandwidths)+1) - 1 // -1 means unseeded
+			}
+		}
+		want := in.NashAssignmentFrom(seed)
+		got := in.NashAssignmentFromScratch(seed, &scratch)
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("trial %d: device %d assigned %d (scratch) vs %d (alloc)",
+					trial, d, got[d], want[d])
+			}
+		}
+		if !in.IsNashAssignment(got) {
+			t.Fatalf("trial %d: scratch assignment is not a Nash equilibrium", trial)
+		}
+	}
+}

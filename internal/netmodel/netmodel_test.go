@@ -189,13 +189,52 @@ func TestGenerateOverlapSharesAPs(t *testing.T) {
 
 func TestGenerateRejectsBadSpecs(t *testing.T) {
 	for _, spec := range []GenSpec{
-		{Areas: 0, APsPerArea: 1},
-		{Areas: 1, APsPerArea: -1},
-		{Areas: 2},
-		{Areas: 2, APsPerArea: 1, Overlap: 2},
+		{Areas: 0, APsPerArea: 1},              // no areas
+		{Areas: -3, APsPerArea: 1},             // negative areas
+		{Areas: 1, APsPerArea: -1},             // negative AP count
+		{Areas: 1, APsPerArea: 1, Cells: -1},   // negative cell count
+		{Areas: 2},                             // every area empty
+		{Areas: 2, APsPerArea: 1, Overlap: 2},  // overlap exceeds APs
+		{Areas: 2, APsPerArea: 1, Overlap: -1}, // negative overlap
 	} {
 		if err := spec.Validate(); err == nil {
 			t.Fatalf("spec %+v should be invalid", spec)
 		}
 	}
+}
+
+// TestGenerateAcceptsBoundarySpecs pins the edges of the valid region:
+// cells-only topologies, a single area, and overlap equal to the per-area
+// AP count are all generatable.
+func TestGenerateAcceptsBoundarySpecs(t *testing.T) {
+	for _, spec := range []GenSpec{
+		{Areas: 1, Cells: 2},                            // no APs at all
+		{Areas: 1, APsPerArea: 3},                       // no cells
+		{Areas: 3, APsPerArea: 2, Overlap: 2},           // full overlap
+		{Areas: 1, APsPerArea: 2, Cells: 1, Overlap: 2}, // single area ignores overlap
+	} {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("spec %+v should be valid: %v", spec, err)
+		}
+		top := Generate(spec)
+		if err := top.Validate(); err != nil {
+			t.Fatalf("spec %+v generated an invalid topology: %v", spec, err)
+		}
+		if len(top.Areas) != spec.Areas {
+			t.Fatalf("spec %+v generated %d areas", spec, len(top.Areas))
+		}
+	}
+}
+
+// TestGeneratePanicsOnInvalidSpec pins the documented contract: Generate is
+// for pre-validated specs (presets, benchmarks); the error path for user
+// input is Validate, which callers like cmd/simulate's metro parser run
+// first.
+func TestGeneratePanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate must panic on an invalid spec")
+		}
+	}()
+	Generate(GenSpec{Areas: 0})
 }

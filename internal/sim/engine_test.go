@@ -219,36 +219,68 @@ func TestWorkspaceRejectsForeignEngine(t *testing.T) {
 	}
 }
 
-// TestWorkspaceSteadyStateAllocs asserts the tentpole's allocation budget:
+// churnHeavyDevices builds a population whose first device changes area on
+// every slot, forcing an NE-cache refresh (an "epoch") per slot — the
+// worst case for game.Prepare allocation.
+func churnHeavyDevices(n, slots int, alg core.Algorithm) []DeviceSpec {
+	devs := UniformDevices(n, alg)
+	traj := make([]AreaStay, slots)
+	for t := range traj {
+		traj[t] = AreaStay{FromSlot: t, Area: []int{netmodel.AreaFoodCourt, netmodel.AreaStudyArea}[t%2]}
+	}
+	devs[0].Trajectory = traj
+	return devs
+}
+
+// TestWorkspaceSteadyStateAllocs asserts the engine's allocation budget:
 // once a workspace is warm, a replication allocates only the Result it
-// returns plus epoch-refresh bookkeeping — far under one allocation per
-// slot, and flat in the number of replications.
+// returns plus bounded bookkeeping — far under one allocation per slot, flat
+// in the number of replications, and (since game.PrepareInto pools the NE
+// cache) flat in the number of epoch refreshes too: the churn-heavy configs
+// refresh the NE on every one of their 120 slots and must fit the same
+// budget as the single-epoch static run.
 func TestWorkspaceSteadyStateAllocs(t *testing.T) {
-	cfg := Config{
-		Topology: netmodel.Setting1(),
-		Devices:  UniformDevices(5, core.AlgSmartEXP3),
-		Slots:    120,
+	cases := map[string]Config{
+		"static": {
+			Topology: netmodel.Setting1(),
+			Devices:  UniformDevices(5, core.AlgSmartEXP3),
+			Slots:    120,
+		},
+		"epoch-heavy": {
+			Topology: netmodel.FoodCourt(),
+			Devices:  churnHeavyDevices(5, 120, core.AlgSmartEXP3),
+			Slots:    120,
+		},
+		"epoch-heavy-centralized": {
+			Topology: netmodel.FoodCourt(),
+			Devices:  churnHeavyDevices(5, 120, core.AlgCentralized),
+			Slots:    120,
+		},
 	}
-	eng, err := NewEngine(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ws := eng.NewWorkspace()
-	if _, err := eng.Run(ws, 1); err != nil { // warm-up
-		t.Fatal(err)
-	}
-	seed := int64(2)
-	avg := testing.AllocsPerRun(20, func() {
-		if _, err := eng.Run(ws, seed); err != nil {
-			t.Fatal(err)
-		}
-		seed++
-	})
-	// A warm replication allocates the Result (2) plus the single epoch
-	// refresh (prepared NE + evaluator scratch, ~10); 25 leaves headroom for
-	// map growth internals while still catching any per-slot regression
-	// (120 slots would blow straight past it).
-	if avg > 25 {
-		t.Fatalf("steady-state replication allocates %.1f objects, want ≤ 25", avg)
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			eng, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws := eng.NewWorkspace()
+			if _, err := eng.Run(ws, 1); err != nil { // warm-up
+				t.Fatal(err)
+			}
+			seed := int64(2)
+			avg := testing.AllocsPerRun(20, func() {
+				if _, err := eng.Run(ws, seed); err != nil {
+					t.Fatal(err)
+				}
+				seed++
+			})
+			// A warm replication allocates the Result (2) plus small fixed
+			// bookkeeping; 25 leaves headroom for runtime internals while
+			// still catching any per-slot or per-epoch regression (120
+			// slots/epochs would blow straight past it).
+			if avg > 25 {
+				t.Fatalf("steady-state replication allocates %.1f objects, want ≤ 25", avg)
+			}
+		})
 	}
 }

@@ -161,8 +161,14 @@ func UniformDevices(n int, alg core.Algorithm) []DeviceSpec {
 // SpreadDevices builds n device specs that all run the same algorithm and
 // stay for the whole run, distributed round-robin over the given number of
 // service areas — the standard population for the large generated
-// topologies of netmodel.Generate.
+// topologies of netmodel.Generate. With fewer devices than areas the
+// trailing areas stay empty; with more, areas are filled evenly. A
+// non-positive area count is treated as a single area (everyone in area 0),
+// never a panic.
 func SpreadDevices(n int, alg core.Algorithm, areas int) []DeviceSpec {
+	if areas < 1 {
+		areas = 1
+	}
 	devs := make([]DeviceSpec, n)
 	for d := range devs {
 		devs[d] = DeviceSpec{Algorithm: alg}

@@ -30,6 +30,68 @@ func baseConfig(alg core.Algorithm) Config {
 	}
 }
 
+// areaOf returns the area a SpreadDevices spec places the device in.
+func areaOf(spec DeviceSpec) int {
+	if len(spec.Trajectory) == 0 {
+		return 0
+	}
+	return spec.Trajectory[0].Area
+}
+
+// TestSpreadDevicesEdgeCases covers the population builder's boundaries: an
+// empty population, fewer devices than areas, wrap-around when devices
+// outnumber areas, and a non-positive area count (treated as one area, not
+// a divide-by-zero panic).
+func TestSpreadDevicesEdgeCases(t *testing.T) {
+	if devs := SpreadDevices(0, core.AlgSmartEXP3, 5); len(devs) != 0 {
+		t.Fatalf("0 devices built %d specs", len(devs))
+	}
+
+	// Fewer devices than areas: devices d=0..2 land in areas 0..2, later
+	// areas stay empty, and every spec is runnable (area < len(Areas)).
+	few := SpreadDevices(3, core.AlgSmartEXP3, 7)
+	for d, spec := range few {
+		if got := areaOf(spec); got != d {
+			t.Fatalf("device %d in area %d, want %d", d, got, d)
+		}
+	}
+
+	// More devices than areas: round-robin wrap, evenly filled.
+	many := SpreadDevices(10, core.AlgSmartEXP3, 4)
+	counts := make(map[int]int)
+	for d, spec := range many {
+		if got, want := areaOf(spec), d%4; got != want {
+			t.Fatalf("device %d in area %d, want %d", d, got, want)
+		}
+		counts[areaOf(spec)]++
+	}
+	for a := 0; a < 4; a++ {
+		if counts[a] < 2 {
+			t.Fatalf("area %d underfilled: %v", a, counts)
+		}
+	}
+
+	// Non-positive area counts collapse to a single area instead of
+	// panicking.
+	for _, areas := range []int{0, -2} {
+		for d, spec := range SpreadDevices(4, core.AlgGreedy, areas) {
+			if got := areaOf(spec); got != 0 {
+				t.Fatalf("areas=%d: device %d in area %d, want 0", areas, d, got)
+			}
+		}
+	}
+
+	// The specs a generated topology gets are directly runnable.
+	top := netmodel.Generate(netmodel.GenSpec{Areas: 3, APsPerArea: 2, Cells: 1, Overlap: 1})
+	cfg := Config{
+		Topology: top,
+		Devices:  SpreadDevices(7, core.AlgSmartEXP3, len(top.Areas)),
+		Slots:    20,
+		Seed:     2,
+	}
+	mustRun(t, cfg)
+}
+
 func TestValidateRejectsBadConfigs(t *testing.T) {
 	tests := []struct {
 		name   string

@@ -41,14 +41,19 @@ type Workspace struct {
 	choices  []int // current slot's network per device (-1 inactive)
 	lastNet  []int // previous slot's network per device (-1 none)
 
-	// Epoch-scoped NE cache.
+	// Epoch-scoped NE cache. prepared points at neCache when an epoch is
+	// prepared and is nil otherwise; neCache's buffers persist across epochs
+	// and replications, so refreshing the NE on churn allocates nothing
+	// after the workspace's first epoch (game.PrepareInto).
 	activeList []int // device ids active this epoch, ascending
 	idxOf      []int // device id → index in activeList, -1 when inactive
 	instance   game.Instance
+	neCache    game.PreparedNE
 	prepared   *game.PreparedNE
 	distEval   *game.DistanceEval
-	coordNets  []int // centralized coordinator's assignment (per device id)
-	seedBuf    []int // coordinator churn seeding scratch
+	coordNets  []int              // centralized coordinator's assignment (per device id)
+	seedBuf    []int              // coordinator churn seeding scratch
+	coordSolve game.AssignScratch // coordinator NE solve buffers
 
 	// Per-slot scratch.
 	counts    []int
@@ -342,16 +347,15 @@ func (ws *Workspace) refreshEpoch() error {
 		ws.instance.Devices = append(ws.instance.Devices,
 			game.Device{Available: e.cfg.Topology.Areas[ws.areas[d]]})
 	}
-	prep, err := game.Prepare(ws.instance)
-	if err != nil {
+	if err := ws.neCache.PrepareInto(ws.instance); err != nil {
 		return err
 	}
-	ws.prepared = prep
+	ws.prepared = &ws.neCache
 	ws.distCacheOK = false
 	if ws.distEval == nil {
-		ws.distEval = prep.NewEval()
+		ws.distEval = ws.prepared.NewEval()
 	} else {
-		ws.distEval.Reset(prep)
+		ws.distEval.Reset(ws.prepared)
 	}
 
 	if e.centralized {
@@ -359,7 +363,7 @@ func (ws *Workspace) refreshEpoch() error {
 		for _, d := range ws.activeList {
 			ws.seedBuf = append(ws.seedBuf, ws.coordNets[d])
 		}
-		assign := ws.instance.NashAssignmentFrom(ws.seedBuf)
+		assign := ws.instance.NashAssignmentFromScratch(ws.seedBuf, &ws.coordSolve)
 		for i, d := range ws.activeList {
 			ws.coordNets[d] = assign[i]
 		}
