@@ -215,6 +215,55 @@ func BenchmarkClusterDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSession measures the per-batch cost on a warm persistent
+// session: the worker was dialed, handshaken and connected once before the
+// timer started, so each op pays only the session-multiplexed dispatch — a
+// job descriptor, its range frames and the gob-decoded result stream for
+// the same 8-replication Setting 1 batch as BenchmarkClusterDispatch. The
+// delta between the two rows is the dial + handshake + teardown the session
+// amortizes away, which is the whole point of the layer: the experiment
+// suite's many small batches pay it once instead of per batch.
+func BenchmarkClusterSession(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go cluster.Serve(ln, cluster.WorkerOptions{Workers: 1})
+
+	cfg := sim.Config{
+		Topology: netmodel.Setting1(),
+		Devices:  sim.UniformDevices(5, core.AlgSmartEXP3),
+		Slots:    120,
+	}
+	sess := cluster.NewSession([]string{ln.Addr().String()}, cluster.Options{})
+	defer sess.Close()
+	runBatch := func(seed int64) error {
+		batch := runner.Replications{Runs: 8, Seed: seed, Stream: []int64{42}}
+		job, err := cluster.NewJob(batch, cfg)
+		if err != nil {
+			return err
+		}
+		var downloads float64
+		return sess.Run(job, func(_ int, res *sim.Result) error {
+			for d := range res.Devices {
+				downloads += res.Devices[d].DownloadMb
+			}
+			return nil
+		})
+	}
+	if err := runBatch(1); err != nil { // warm the session and the worker's engine pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runBatch(int64(i + 2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimReplication measures one warm replication through a pooled
 // workspace across population scales: 10 devices on Setting 1, and 100/500
 // devices spread over generated multi-area metropolitan topologies (the

@@ -20,13 +20,21 @@
 // experiments can hide behind CPU-bound sweeps; shared scenario caches are
 // deduplicated, so overlapping experiments never repeat a sweep.
 //
-// -cluster routes every serializable simulation sweep through the
-// internal/cluster coordinator instead of the in-process pool: seed ranges
-// are dispatched to the listed cmd/shardd workers and failed workers'
-// ranges are reassigned. Merge order is unchanged, so the artifacts stay
-// bit-identical with and without a cluster; experiments whose
-// configurations cannot cross the wire (the ablation's policy factory) run
-// in-process as before.
+// -cluster routes every serializable simulation sweep through one
+// persistent internal/cluster session instead of the in-process pool: each
+// shardd worker is dialed once for the whole run, and the suite's hundreds
+// of small batches pipeline over the open streams (per-batch cost is a
+// couple of frames, not a dial + handshake). Failed workers' ranges are
+// reassigned, across reconnects if need be. Merge order is unchanged, so
+// the artifacts stay bit-identical with and without a cluster; experiments
+// whose configurations cannot cross the wire (the ablation's policy
+// factory) run in-process as before.
+//
+// -parexp combined with -cluster is shard-aware: experiment-level
+// concurrency is sized to cover the workers and each experiment's batches
+// carry an affinity for "its" worker, so whole serializable experiments
+// stream to distinct shards instead of interleaving everywhere (idle
+// workers still steal, and results are identical either way).
 package main
 
 import (
@@ -93,6 +101,18 @@ func run(args []string) error {
 		opts.Workers = *workers
 	}
 	opts.Cluster = cluster.ParseShards(*clstr)
+	if len(opts.Cluster) > 0 {
+		// One persistent session for the whole run: every worker is dialed
+		// once, and all experiments' batches pipeline over it.
+		sess := cluster.NewSession(opts.Cluster, cluster.Options{
+			LocalWorkers: opts.Workers,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "reproduce: "+format+"\n", args...)
+			},
+		})
+		defer sess.Close()
+		opts.Session = sess
+	}
 
 	selected := defs
 	if *ids != "" {
@@ -113,17 +133,29 @@ func run(args []string) error {
 	}
 	expWorkers := 1
 	if *parexp {
-		// Split the worker budget between the experiment level and each
-		// experiment's replication pool so the two levels multiplied never
-		// oversubscribe the machine.
 		total := runner.Workers(opts.Workers)
 		expWorkers = total
+		if n := len(opts.Cluster); n > 0 {
+			// Shard-aware split: with a cluster, the heavy lifting is
+			// remote, so size experiment-level concurrency to cover the
+			// workers (each concurrent experiment's batches carry an
+			// affinity for "its" shard below) and keep the local pool for
+			// merging and the in-process experiments.
+			if n > expWorkers {
+				expWorkers = n
+			}
+		}
 		if expWorkers > len(selected) {
 			expWorkers = len(selected)
 		}
-		opts.Workers = total / expWorkers
-		if opts.Workers < 1 {
-			opts.Workers = 1
+		if len(opts.Cluster) == 0 {
+			// Split the worker budget between the experiment level and each
+			// experiment's replication pool so the two levels multiplied
+			// never oversubscribe the machine.
+			opts.Workers = total / expWorkers
+			if opts.Workers < 1 {
+				opts.Workers = 1
+			}
 		}
 	}
 	return runner.MergeOrdered(expWorkers, len(selected),
@@ -133,7 +165,11 @@ func run(args []string) error {
 				fmt.Printf(">>> %s: %s\n", def.ID, def.Title)
 			}
 			start := time.Now()
-			rep, err := def.Run(opts)
+			eopts := opts
+			// Whole experiments map to workers: experiment i's serializable
+			// batches prefer shard i mod nShards.
+			eopts.ClusterAffinity = i + 1
+			rep, err := def.Run(eopts)
 			if err != nil {
 				return outcome{}, fmt.Errorf("%s: %w", def.ID, err)
 			}

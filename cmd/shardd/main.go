@@ -1,8 +1,12 @@
 // Command shardd is the replication-shard worker daemon of the cluster
-// layer: it listens for coordinator connections (cmd/simulate -shards,
-// cmd/reproduce -cluster, or internal/cluster.Run directly), compiles each
-// connection's job descriptor into a sim.Engine once, and executes the seed
-// ranges the coordinator assigns, streaming per-run results back.
+// layer: it listens for coordinator sessions (cmd/simulate -shards,
+// cmd/reproduce -cluster, or internal/cluster.Session directly), compiles
+// each session's job descriptors into sim.Engines — once per distinct
+// config, shared across the session's pipelined jobs — and executes the
+// seed ranges the coordinator assigns, streaming per-run results back. A
+// session stays connected across any number of jobs, answering keepalive
+// pings while idle, so a suite of many small batches pays the dial and
+// handshake once.
 //
 // A shardd holds no batch state of its own: seeds derive deterministically
 // from the job descriptor and the global run index, so any worker (or the

@@ -127,8 +127,19 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *runs > 1 || *shards != "" {
-		return runReplicated(cfg, *runs, *workers, cluster.ParseShards(*shards))
+	shardAddrs := cluster.ParseShards(*shards)
+	if len(shardAddrs) > 0 {
+		// Validate up front: a configuration that cannot cross the wire
+		// (custom samplers, or a JSON scenario's explicitly empty groups)
+		// should fail here with the reason, not deep inside the dispatch
+		// with a per-worker job rejection.
+		if err := cluster.Shardable(cfg); err != nil {
+			return fmt.Errorf("-shards: this configuration cannot run on a cluster: %v; drop -shards to run it in-process (reproduce -cluster falls back the same way for its PolicyFactory ablation)", err)
+		}
+	}
+
+	if *runs > 1 || len(shardAddrs) > 0 {
+		return runReplicated(cfg, *runs, *workers, shardAddrs)
 	}
 
 	res, err := smartexp3.Simulate(cfg)

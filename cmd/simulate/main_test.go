@@ -144,6 +144,35 @@ func aggregateLines(t *testing.T, out string) string {
 	return rest
 }
 
+// TestShardsRejectNonSerializableConfigUpFront pins the early validation: a
+// configuration that cannot cross the wire (here a JSON scenario with an
+// explicitly empty device-group list, which gob cannot distinguish from an
+// absent one) combined with -shards must fail immediately with the reason,
+// not deep inside the cluster dispatch. The shard address points at a
+// reserved port nothing listens on: the error must arrive without a dial
+// attempt ever mattering.
+func TestShardsRejectNonSerializableConfigUpFront(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	scenario := `{
+		"name": "grouped",
+		"networks": [{"name": "a", "type": "wifi", "bandwidthMbps": 10}],
+		"devices": [{"algorithm": "smart", "count": 3}],
+		"slots": 20,
+		"groups": []
+	}`
+	if err := os.WriteFile(path, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-config", path, "-runs", "4", "-shards", "127.0.0.1:1"})
+	if err == nil || !strings.Contains(err.Error(), "cannot run on a cluster") {
+		t.Fatalf("want an upfront -shards validation error, got %v", err)
+	}
+	// Without -shards the same scenario runs fine in-process.
+	if err := run([]string{"-config", path, "-runs", "2"}); err != nil {
+		t.Fatalf("in-process run of the same scenario failed: %v", err)
+	}
+}
+
 // TestShardedAggregatesMatchInProcess is the CLI half of the acceptance
 // criterion: for a fixed seed, `simulate -runs N` and `simulate -runs N
 // -shards a,b` print byte-identical aggregate lines.

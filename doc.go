@@ -79,20 +79,29 @@
 //     ascending run order from a single goroutine, so aggregates are
 //     bit-identical for every worker count.
 //   - Cluster (internal/cluster, cmd/shardd): shards a batch's run-index
-//     space across processes and machines over TCP/gob. Each worker owns
-//     its own engine and workspaces; the coordinator reassigns the ranges
-//     of failed workers and merges through the same single-goroutine
-//     ordered merge.
+//     space across processes and machines over TCP/gob. The coordinator
+//     side is a persistent Session: each worker is dialed once, the stream
+//     stays alive across batches (keepalive pings under the frame-timeout
+//     discipline, with deadlines cleared while nothing is owed), and any
+//     number of jobs multiplex over it with session-unique ids — many
+//     small batches pipeline without a dial or handshake between them.
+//     Workers cache compiled engines by config across a session's jobs;
+//     the coordinator reassigns the ranges of failed connections
+//     (reconnecting where possible) and merges each job through the same
+//     single-goroutine ordered merge.
 //
 // The determinism contract ties the layers together: per-run seeds are a
 // pure function of (base seed, stream ids, run index) via
 // rngutil.ChildSeed; Engine.Run(ws, seed) is a pure function of (engine,
-// seed); and results always merge in ascending run order. Consequently the
-// same root seed yields byte-identical aggregates in one goroutine, across
-// any worker count, and across any shard count — even when a shard dies
-// mid-batch and its ranges are re-executed elsewhere. Both CLIs expose the
-// cluster layer (`simulate -shards`, `reproduce -cluster`); CI holds the
-// equality as an invariant.
+// seed); and each job's results always merge in ascending run order.
+// Consequently the same root seed yields byte-identical aggregates in one
+// goroutine, across any worker count, across any shard count, and across
+// any session shape — whether batches run one per dial or pipelined over a
+// warm session, and even when a worker dies mid-batch (or mid-session) and
+// its ranges are re-executed elsewhere. Both CLIs expose the cluster layer
+// (`simulate -shards`; `reproduce -cluster` holds one session for the
+// whole suite, and with -parexp assigns whole experiments to workers via
+// placement affinity); CI holds the equality as an invariant.
 //
 // The examples directory contains runnable programs exercising the public
 // API end to end.

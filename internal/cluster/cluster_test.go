@@ -160,8 +160,10 @@ func TestRunSurvivesWorkerKilledMidBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Cut points from mid-handshake to deep into the result stream.
-	for _, cutAfter := range []int{64, 2048, 16384} {
+	// Cut points from mid-handshake to deep into the result stream (the
+	// flaky worker's share of the 24-run batch is ~12 KB on the persistent
+	// codec, so the deepest cut still lands before its stream ends).
+	for _, cutAfter := range []int{64, 2048, 6144} {
 		t.Run(fmt.Sprintf("cutAfter=%d", cutAfter), func(t *testing.T) {
 			addrs := startWorkers(t, 2, WorkerOptions{Workers: 1})
 			flaky := cutProxy(t, addrs[0], cutAfter)
@@ -358,19 +360,27 @@ func TestWorkerRejectsBadJob(t *testing.T) {
 	}
 }
 
+// dialRaw opens a hand-driven protocol connection with its per-connection
+// codec pair (the persistent-gob framing every peer speaks).
+func dialRaw(t *testing.T, addr string) (net.Conn, *frameWriter, *frameReader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, newFrameWriter(conn), newFrameReader(conn)
+}
+
 // TestWorkerRejectsVersionMismatch speaks a wrong protocol version and
 // expects a refusal at hello.
 func TestWorkerRejectsVersionMismatch(t *testing.T) {
 	addrs := startWorkers(t, 1, WorkerOptions{})
-	conn, err := net.Dial("tcp", addrs[0])
-	if err != nil {
+	_, fw, fr := dialRaw(t, addrs[0])
+	if err := fw.write(&envelope{Hello: &helloMsg{Version: protocolVersion + 1}}); err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
-	if err := writeFrame(conn, &envelope{Hello: &helloMsg{Version: protocolVersion + 1}}); err != nil {
-		t.Fatal(err)
-	}
-	env, err := readFrame(conn)
+	env, err := fr.read()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,30 +394,45 @@ func TestWorkerRejectsVersionMismatch(t *testing.T) {
 // instead of executing out-of-batch run indices.
 func TestWorkerRejectsCorruptRange(t *testing.T) {
 	addrs := startWorkers(t, 1, WorkerOptions{})
-	conn, err := net.Dial("tcp", addrs[0])
-	if err != nil {
+	_, fw, fr := dialRaw(t, addrs[0])
+	if err := fw.write(&envelope{Hello: &helloMsg{Version: protocolVersion}}); err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
-	if err := writeFrame(conn, &envelope{Hello: &helloMsg{Version: protocolVersion}}); err != nil {
-		t.Fatal(err)
-	}
-	if env, err := readFrame(conn); err != nil || env.HelloAck == nil || env.HelloAck.Err != "" {
+	if env, err := fr.read(); err != nil || env.HelloAck == nil || env.HelloAck.Err != "" {
 		t.Fatalf("handshake failed: %+v, %v", env, err)
 	}
-	if err := writeFrame(conn, &envelope{Job: &jobMsg{Spec: testJob(t, 8)}}); err != nil {
+	if err := fw.write(&envelope{Job: &jobMsg{ID: 1, Spec: testJob(t, 8)}}); err != nil {
 		t.Fatal(err)
 	}
-	if env, err := readFrame(conn); err != nil || env.JobAck == nil || env.JobAck.Err != "" {
+	if env, err := fr.read(); err != nil || env.JobAck == nil || env.JobAck.ID != 1 || env.JobAck.Err != "" {
 		t.Fatalf("job rejected: %+v, %v", env, err)
 	}
 	const maxInt = int(^uint(0) >> 1)
-	if err := writeFrame(conn, &envelope{Range: &rangeMsg{First: maxInt, Count: 1}}); err != nil {
+	if err := fw.write(&envelope{Range: &rangeMsg{Job: 1, First: maxInt, Count: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	// The worker must close the connection without emitting a result.
-	if env, err := readFrame(conn); err == nil {
+	if env, err := fr.read(); err == nil {
 		t.Fatalf("worker answered a corrupt range with %+v", env)
+	}
+}
+
+// TestWorkerRejectsUnknownJobRange sends a range for a job id the session
+// never shipped: the worker must drop the connection rather than guess.
+func TestWorkerRejectsUnknownJobRange(t *testing.T) {
+	addrs := startWorkers(t, 1, WorkerOptions{})
+	_, fw, fr := dialRaw(t, addrs[0])
+	if err := fw.write(&envelope{Hello: &helloMsg{Version: protocolVersion}}); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := fr.read(); err != nil || env.HelloAck == nil || env.HelloAck.Err != "" {
+		t.Fatalf("handshake failed: %+v, %v", env, err)
+	}
+	if err := fw.write(&envelope{Range: &rangeMsg{Job: 42, First: 0, Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if env, err := fr.read(); err == nil {
+		t.Fatalf("worker answered a range for an unknown job with %+v", env)
 	}
 }
 
@@ -418,7 +443,7 @@ func TestFrameLengthGuards(t *testing.T) {
 		{0xff, 0xff, 0xff, 0xff}, // ~4 GiB claim
 		{0x00, 0x00, 0x00, 0x00}, // zero-length frame
 	} {
-		if _, err := readFrame(strings.NewReader(string(raw))); err == nil {
+		if _, err := newFrameReader(strings.NewReader(string(raw))).read(); err == nil {
 			t.Fatalf("frame header % x must be rejected", raw)
 		}
 	}

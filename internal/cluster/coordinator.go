@@ -1,16 +1,13 @@
 package cluster
 
 import (
-	"bufio"
-	"fmt"
-	"net"
-	"sync"
 	"time"
 
 	"smartexp3/internal/sim"
 )
 
-// Options configures a coordinator run.
+// Options configures a coordinator — the one-shot Run and the persistent
+// Session alike.
 type Options struct {
 	// ChunkSize is the number of runs per dispatched range; 0 picks a size
 	// that gives every shard several ranges (dynamic load balancing and a
@@ -19,20 +16,29 @@ type Options struct {
 	// DialTimeout bounds each worker dial; 0 means 5 seconds.
 	DialTimeout time.Duration
 	// FrameTimeout bounds how long a worker may go without producing the
-	// next protocol frame (handshake reply, result, range ack); 0 means 2
-	// minutes. It is a progress timeout, not a whole-chunk budget: a chunk
-	// may take arbitrarily long as long as results keep flowing. A worker
-	// that stalls without closing its connection (SIGSTOP, half-open
-	// partition) trips it and is retired exactly like a dead one, so its
-	// chunk is reassigned instead of hanging the batch.
+	// next protocol frame while one is owed (handshake reply, result, range
+	// ack, keepalive pong); 0 means 2 minutes. It is a progress timeout, not
+	// a whole-chunk budget: a chunk may take arbitrarily long as long as
+	// results keep flowing. A worker that stalls without closing its
+	// connection (SIGSTOP, half-open partition) trips it and takes the
+	// reassignment path instead of hanging the batch. While nothing is owed
+	// — a session idling between batches — no deadline is armed at all, so
+	// an idle gap of any length never counts as a stall.
 	FrameTimeout time.Duration
+	// Keepalive is how often an idle session connection is pinged; 0 means
+	// a quarter of the frame timeout. Pings elicit pongs under FrameTimeout,
+	// so a silently dead worker is noticed between batches. Pings are
+	// suppressed while ranges are in flight (results are the liveness
+	// signal there).
+	Keepalive time.Duration
 	// LocalWorkers bounds the parallelism of in-process execution — the
 	// shards-free fallback and the all-workers-dead rescue path; 0 or less
 	// means GOMAXPROCS.
 	LocalWorkers int
-	// Logf, when non-nil, receives shard-failure and reassignment lines.
-	// Failures are expected operational events (that is what reassignment
-	// is for), so they are reported here rather than as errors.
+	// Logf, when non-nil, receives shard-failure, reconnect and
+	// reassignment lines. Failures are expected operational events (that is
+	// what reassignment is for), so they are reported here rather than as
+	// errors.
 	Logf func(format string, args ...any)
 }
 
@@ -56,91 +62,43 @@ func (o Options) frameTimeout() time.Duration {
 	return o.FrameTimeout
 }
 
+func (o Options) keepalive() time.Duration {
+	if o.Keepalive > 0 {
+		return o.Keepalive
+	}
+	return o.frameTimeout() / 4
+}
+
 // Run executes the job's replications across the given shard addresses and
 // folds every result through merge in ascending global run order, from a
 // single goroutine. With no shards it runs the whole batch in-process —
 // byte-identical to the sharded paths, which is the property the cluster
 // tests pin.
 //
+// Run is the one-shot convenience over Session: it dials, runs the single
+// job and tears the session down. Callers with many batches (the experiment
+// suite) should hold a Session instead and pay the dial and handshake once.
+//
 // Worker failure (dial error, handshake refusal, connection loss) is not
-// fatal: ranges not yet fully received are reassigned to surviving workers,
-// and if every worker is gone the remaining ranges run in-process. Only two
-// things abort a run: a merge error, and a deterministic simulation error
-// reported by a worker (which would fail identically everywhere).
+// fatal: ranges not yet fully received are reassigned — to the same worker
+// after a reconnect, to surviving workers, or in-process when every worker
+// is gone. Only two things abort a run: a merge error, and a deterministic
+// job error reported by a worker (a spec that cannot compile, a simulation
+// failure — both would fail identically everywhere).
 func Run(job JobSpec, shards []string, opts Options, merge func(run int, res *sim.Result) error) error {
 	if job.Runs <= 0 {
 		return nil
 	}
 	if len(shards) == 0 {
-		exec, err := newRangeExec(job, opts.LocalWorkers)
+		exec, err := newRangeExec(job, opts.LocalWorkers, nil)
 		if err != nil {
 			return err
 		}
 		return exec.run(0, job.Runs, merge)
 	}
-
-	c := &coordinator{
-		job:   job,
-		opts:  opts,
-		chunk: chunkSize(opts.ChunkSize, job.Runs, len(shards)),
-		resCh: make(chan chunkResult, len(shards)),
-	}
-	c.nChunks = (job.Runs + c.chunk - 1) / c.chunk
-	// The claim window bounds how many chunks may be in flight beyond the
-	// merge frontier, capping the reorder buffer at O(shards) chunks even
-	// when one early chunk is slow (the same memory argument as
-	// runner.MergeOrdered's window).
-	c.window = 4 * len(shards)
-	c.cond = sync.NewCond(&c.mu)
-	c.live = len(shards)
-
-	var wg sync.WaitGroup
-	for _, addr := range shards {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c.runShard(addr)
-			c.shardExited(&wg)
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(c.resCh)
-	}()
-
-	// Single-goroutine ordered merger: chunks are folded in ascending chunk
-	// index, runs in ascending order within each chunk — the exact order a
-	// serial loop would produce.
-	pending := make(map[int][]*sim.Result, c.window)
-	mergeNext := 0
-	for cr := range c.resCh {
-		if c.failedNow() {
-			continue // drain so senders never block
-		}
-		pending[cr.idx] = cr.results
-		for {
-			results, ok := pending[mergeNext]
-			if !ok {
-				break
-			}
-			delete(pending, mergeNext)
-			first := mergeNext * c.chunk
-			for i, res := range results {
-				if err := merge(first+i, res); err != nil {
-					c.fail(fmt.Errorf("cluster: merge run %d: %w", first+i, err))
-					break
-				}
-			}
-			if c.failedNow() {
-				break
-			}
-			mergeNext++
-			c.advance()
-		}
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.firstErr
+	s := NewSession(shards, opts)
+	defer s.Close()
+	return s.Run(job, merge)
 }
 
 // chunkSize picks the dispatch granularity: roughly four ranges per shard,
@@ -157,296 +115,8 @@ func chunkSize(requested, runs, shards int) int {
 	return chunk
 }
 
-// chunkResult carries one fully received chunk to the merger.
+// chunkResult carries one fully received chunk to its job's merger.
 type chunkResult struct {
 	idx     int
 	results []*sim.Result
-}
-
-// coordinator is the shared state of one Run.
-type coordinator struct {
-	job   JobSpec
-	opts  Options
-	chunk int
-
-	nChunks int
-	window  int
-	resCh   chan chunkResult
-
-	mu       sync.Mutex
-	cond     *sync.Cond
-	retry    []int // failed chunk indices, dispatched before fresh ones
-	next     int   // next fresh chunk index
-	frontier int   // chunks fully merged
-	live     int   // shard goroutines still running
-	failed   bool
-	firstErr error
-}
-
-// claim hands out the next chunk index: reassigned chunks first, then fresh
-// ones while the merge frontier is within the window. It blocks while all
-// eligible work is in flight and returns false once the batch is merged (or
-// failed).
-func (c *coordinator) claim() (int, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for {
-		if c.failed {
-			return 0, false
-		}
-		if n := len(c.retry); n > 0 {
-			idx := c.retry[n-1]
-			c.retry = c.retry[:n-1]
-			return idx, true
-		}
-		if c.next < c.nChunks && c.next-c.frontier < c.window {
-			idx := c.next
-			c.next++
-			return idx, true
-		}
-		if c.frontier >= c.nChunks {
-			return 0, false
-		}
-		c.cond.Wait()
-	}
-}
-
-// requeue returns a chunk whose worker failed before acknowledging it.
-func (c *coordinator) requeue(idx int) {
-	c.mu.Lock()
-	c.retry = append(c.retry, idx)
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
-
-// advance moves the merge frontier (called by the merger only).
-func (c *coordinator) advance() {
-	c.mu.Lock()
-	c.frontier++
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
-
-// fail records the first fatal error and wakes everything up.
-func (c *coordinator) fail(err error) {
-	c.mu.Lock()
-	if !c.failed {
-		c.failed = true
-		c.firstErr = err
-	}
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
-
-func (c *coordinator) failedNow() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.failed
-}
-
-// shardExited accounts for a shard goroutine ending. When the last one goes
-// while unmerged work remains, an in-process rescuer takes over the queue so
-// the batch always completes: losing every worker degrades throughput, not
-// correctness. wg still counts the exiting goroutine, so adding the rescuer
-// here cannot race wg.Wait.
-func (c *coordinator) shardExited(wg *sync.WaitGroup) {
-	c.mu.Lock()
-	c.live--
-	spawnLocal := c.live == 0 && !c.failed && c.frontier < c.nChunks
-	c.mu.Unlock()
-	if !spawnLocal {
-		return
-	}
-	c.opts.logf("cluster: all shards gone, finishing the remaining runs in-process")
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		c.runLocal()
-	}()
-}
-
-// runLocal drains the chunk queue in-process (the all-workers-dead rescue).
-func (c *coordinator) runLocal() {
-	exec, err := newRangeExec(c.job, c.opts.LocalWorkers)
-	if err != nil {
-		c.fail(err)
-		return
-	}
-	for {
-		idx, ok := c.claim()
-		if !ok {
-			return
-		}
-		first, count := c.chunkBounds(idx)
-		results := make([]*sim.Result, 0, count)
-		err := exec.run(first, count, func(run int, res *sim.Result) error {
-			results = append(results, res)
-			return nil
-		})
-		if err != nil {
-			c.fail(err)
-			return
-		}
-		c.resCh <- chunkResult{idx: idx, results: results}
-	}
-}
-
-func (c *coordinator) chunkBounds(idx int) (first, count int) {
-	first = idx * c.chunk
-	count = c.chunk
-	if first+count > c.job.Runs {
-		count = c.job.Runs - first
-	}
-	return first, count
-}
-
-// shardConn is one coordinator→worker session with per-frame progress
-// deadlines: every read and write must complete within the frame timeout,
-// so a stalled-but-open connection (suspended worker, half-open partition)
-// surfaces as an ordinary transport error and takes the reassignment path
-// instead of hanging the batch.
-type shardConn struct {
-	conn    net.Conn
-	br      *bufio.Reader
-	bw      *bufio.Writer
-	timeout time.Duration
-}
-
-func (s *shardConn) read() (*envelope, error) {
-	if err := s.conn.SetReadDeadline(time.Now().Add(s.timeout)); err != nil {
-		return nil, err
-	}
-	return readFrame(s.br)
-}
-
-func (s *shardConn) write(env *envelope) error {
-	if err := s.conn.SetWriteDeadline(time.Now().Add(s.timeout)); err != nil {
-		return err
-	}
-	if err := writeFrame(s.bw, env); err != nil {
-		return err
-	}
-	return s.bw.Flush()
-}
-
-// runShard owns one worker connection: dial, handshake, ship the job, then
-// claim and execute chunks until the batch is done or the connection fails.
-// Any transport failure — including a frame-timeout stall — requeues the
-// in-flight chunk and retires the shard.
-func (c *coordinator) runShard(addr string) {
-	conn, err := net.DialTimeout("tcp", addr, c.opts.dialTimeout())
-	if err != nil {
-		c.opts.logf("cluster: shard %s: dial: %v", addr, err)
-		return
-	}
-	defer conn.Close()
-	s := &shardConn{
-		conn:    conn,
-		br:      bufio.NewReader(conn),
-		bw:      bufio.NewWriter(conn),
-		timeout: c.opts.frameTimeout(),
-	}
-
-	fatal, err := handshake(s, c.job)
-	if err != nil {
-		if fatal {
-			c.fail(fmt.Errorf("cluster: shard %s: %w", addr, err))
-		} else {
-			c.opts.logf("cluster: shard %s: handshake: %v", addr, err)
-		}
-		return
-	}
-
-	for {
-		idx, ok := c.claim()
-		if !ok {
-			return
-		}
-		results, jobErr, err := c.requestChunk(s, idx)
-		if err != nil {
-			// Transport failure: the chunk was not acknowledged, another
-			// shard (or the local rescuer) will re-run it.
-			c.opts.logf("cluster: shard %s: chunk %d requeued: %v", addr, idx, err)
-			c.requeue(idx)
-			return
-		}
-		if jobErr != nil {
-			// The simulation itself failed — deterministic, so retrying
-			// elsewhere cannot help.
-			c.fail(fmt.Errorf("cluster: shard %s: %w", addr, jobErr))
-			return
-		}
-		c.resCh <- chunkResult{idx: idx, results: results}
-	}
-}
-
-// handshake performs hello and job exchange. fatal marks errors that no
-// other worker would answer differently (a job the cluster cannot compile).
-func handshake(s *shardConn, job JobSpec) (fatal bool, err error) {
-	if err := s.write(&envelope{Hello: &helloMsg{Version: protocolVersion}}); err != nil {
-		return false, err
-	}
-	env, err := s.read()
-	if err != nil {
-		return false, err
-	}
-	if env.HelloAck == nil {
-		return false, fmt.Errorf("protocol: expected hello ack")
-	}
-	if env.HelloAck.Err != "" {
-		return false, fmt.Errorf("rejected: %s", env.HelloAck.Err)
-	}
-	if err := s.write(&envelope{Job: &jobMsg{Spec: job}}); err != nil {
-		return false, err
-	}
-	env, err = s.read()
-	if err != nil {
-		return false, err
-	}
-	if env.JobAck == nil {
-		return false, fmt.Errorf("protocol: expected job ack")
-	}
-	if env.JobAck.Err != "" {
-		// The worker validated the same descriptor every other worker will
-		// see; its rejection is a property of the job, not the worker.
-		return true, fmt.Errorf("job rejected: %s", env.JobAck.Err)
-	}
-	return false, nil
-}
-
-// requestChunk dispatches one range and reads its full result stream. err
-// reports transport/protocol failures (retryable elsewhere); jobErr reports
-// a deterministic simulation failure the worker completed the range with.
-func (c *coordinator) requestChunk(s *shardConn, idx int) (results []*sim.Result, jobErr, err error) {
-	first, count := c.chunkBounds(idx)
-	if err := s.write(&envelope{Range: &rangeMsg{First: first, Count: count}}); err != nil {
-		return nil, nil, err
-	}
-	results = make([]*sim.Result, 0, count)
-	for {
-		env, err := s.read()
-		if err != nil {
-			return nil, nil, err
-		}
-		switch {
-		case env.RunResult != nil:
-			want := first + len(results)
-			if env.RunResult.Run != want || env.RunResult.Res == nil || len(results) >= count {
-				return nil, nil, fmt.Errorf("protocol: unexpected result for run %d (want %d of %d)",
-					env.RunResult.Run, want, count)
-			}
-			results = append(results, env.RunResult.Res)
-		case env.RangeDone != nil:
-			if env.RangeDone.Err != "" {
-				return nil, fmt.Errorf("run range [%d,%d): %s", first, first+count, env.RangeDone.Err), nil
-			}
-			if env.RangeDone.First != first || len(results) != count {
-				return nil, nil, fmt.Errorf("protocol: range done for %d with %d/%d results",
-					env.RangeDone.First, len(results), count)
-			}
-			return results, nil, nil
-		default:
-			return nil, nil, fmt.Errorf("protocol: unexpected frame in range stream")
-		}
-	}
 }

@@ -6,14 +6,19 @@
 //
 // # Roles
 //
-// A worker (Serve, wrapped by cmd/shardd) is a daemon owning one
-// sim.Engine + pooled Workspaces per coordinator connection: it receives a
-// compiled-config descriptor (JobSpec) once, then executes seed ranges
-// against it, streaming per-run results back. The coordinator (Run)
-// partitions the global run index space into contiguous ranges, hands them
-// to workers over TCP, reassigns ranges whose worker failed before
-// acknowledging them, and folds every result through the single-goroutine
-// ordered merge in ascending global run order.
+// A worker (Serve, wrapped by cmd/shardd) is a daemon holding compiled
+// sim.Engines + pooled Workspaces per coordinator session: each job
+// descriptor (JobSpec) it receives is compiled once under a session-unique
+// id, then seed ranges carrying that id execute against it, streaming
+// per-run results back, until the coordinator releases the id or the
+// connection closes. The coordinator side is the Session: it dials each
+// worker once, keeps the gob stream alive across batches (keepalive pings
+// under the frame-timeout discipline), multiplexes pipelined jobs over it,
+// partitions each job's global run index space into contiguous ranges,
+// reassigns ranges whose connection failed before delivering them
+// (reconnecting to the worker where possible), and folds every result
+// through a per-job single-goroutine ordered merge in ascending global run
+// order. Run is the one-shot convenience: one session, one job.
 //
 // # Determinism contract
 //
@@ -26,18 +31,23 @@
 //   - sim.Engine.Run(ws, seed) is a pure function of (engine, seed), so
 //     re-running a reassigned range on another worker reproduces the same
 //     bits the dead worker would have produced.
-//   - The coordinator merges strictly in ascending global run order from a
-//     single goroutine, exactly like runner.MergeOrdered, so
+//   - The coordinator merges each job strictly in ascending global run
+//     order from a single goroutine, exactly like runner.MergeOrdered, so
 //     non-commutative folds see runs in the serial order.
+//
+// Because every property is per job, pipelining changes nothing: jobs
+// multiplexed over one session merge independently, and a mid-session
+// reconnect (the worker died between or during jobs) only re-executes
+// undelivered ranges — the same bits, wherever they run.
 //
 // # Transport
 //
 // The wire protocol is deliberately boring: length-prefixed frames of
-// stdlib gob over stdlib TCP (see wire.go). There is no discovery, no
-// retry-with-backoff, no TLS — shardd is meant to run inside a trusted
-// cluster network behind the operator's own orchestration, and a dead or
-// unreachable worker is handled by the one mechanism that matters for
-// correctness: range reassignment.
+// stdlib gob over stdlib TCP (see wire.go). There is no discovery and no
+// TLS — shardd is meant to run inside a trusted cluster network behind the
+// operator's own orchestration, and a dead or unreachable worker is handled
+// by the two mechanisms that matter for correctness: range reassignment and
+// bounded reconnects.
 package cluster
 
 import (
@@ -151,6 +161,13 @@ type JobSpec struct {
 	Seed int64
 	// Stream namespaces the batch (see runner.Replications.Stream).
 	Stream []int64
+	// Affinity optionally biases placement when several jobs are pipelined
+	// over one Session: chunks of a job with Affinity a (1-based) are
+	// offered to shard (a-1) mod nShards first, and stolen by idle shards
+	// otherwise. reproduce -parexp uses it to keep each experiment's
+	// batches on "its" worker. It is a hint only — aggregates are
+	// byte-identical for any placement — and 0 means no preference.
+	Affinity int
 }
 
 // NewJob builds the wire descriptor for running batch over cfg on a

@@ -1,0 +1,477 @@
+package cluster
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartexp3/internal/runner"
+)
+
+// startCountingWorker is startWorkers for one daemon, with an accept
+// counter: session tests assert connection reuse (count stays 1) or
+// reconnection (count grows) — the observable difference between a
+// persistent session and the old dial-per-batch coordinator.
+func startCountingWorker(t *testing.T, opts WorkerOptions) (string, *atomic.Int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var accepts atomic.Int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			go func() {
+				defer conn.Close()
+				serveConn(conn, opts)
+			}()
+		}
+	}()
+	return ln.Addr().String(), &accepts
+}
+
+// sessionJob builds one batch of the shared test scenario on its own RNG
+// stream, so multi-batch tests exercise genuinely distinct work.
+func sessionJob(t *testing.T, runs int, stream int64) JobSpec {
+	t.Helper()
+	job, err := NewJob(runner.Replications{Runs: runs, Seed: 11, Stream: []int64{stream}}, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// inProcessWant fingerprints a job run entirely in-process — the reference
+// every session path must reproduce bit for bit.
+func inProcessWant(t *testing.T, job JobSpec) string {
+	t.Helper()
+	merge, want := fingerprint()
+	if err := Run(job, nil, Options{LocalWorkers: 1}, merge); err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("in-process run produced no results")
+	}
+	return want.String()
+}
+
+// TestSessionReuseAcrossBatches is the tentpole's acceptance test: N batches
+// back-to-back over one session produce byte-identical aggregates to
+// in-process runs, over a single worker connection — no redial between
+// batches.
+func TestSessionReuseAcrossBatches(t *testing.T) {
+	addr, accepts := startCountingWorker(t, WorkerOptions{Workers: 2})
+	s := NewSession([]string{addr}, Options{ChunkSize: 2, Logf: t.Logf})
+	defer s.Close()
+
+	for batch := 0; batch < 3; batch++ {
+		job := sessionJob(t, 12, int64(batch))
+		want := inProcessWant(t, job)
+		merge, got := fingerprint()
+		if err := s.Run(job, merge); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want {
+			t.Fatalf("batch %d over a warm session differs from the in-process aggregate", batch)
+		}
+	}
+	if n := accepts.Load(); n != 1 {
+		t.Fatalf("3 batches used %d connections, want 1 (persistent session)", n)
+	}
+}
+
+// TestSessionPipelinesConcurrentJobs multiplexes three jobs over one
+// two-worker session at once — the reproduce -parexp shape, including the
+// per-job affinity hints — and checks each merged stream against its
+// in-process twin.
+func TestSessionPipelinesConcurrentJobs(t *testing.T) {
+	addrs := startWorkers(t, 2, WorkerOptions{Workers: 1})
+	s := NewSession(addrs, Options{ChunkSize: 2, Logf: t.Logf})
+	defer s.Close()
+
+	jobs := make([]JobSpec, 3)
+	wants := make([]string, 3)
+	for i := range jobs {
+		jobs[i] = sessionJob(t, 10, int64(100+i))
+		jobs[i].Affinity = i + 1
+		wants[i] = inProcessWant(t, jobs[i])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	gots := make([]string, 3)
+	for i := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			merge, got := fingerprint()
+			errs[i] = s.Run(jobs[i], merge)
+			gots[i] = got.String()
+		}()
+	}
+	wg.Wait()
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if gots[i] != wants[i] {
+			t.Fatalf("pipelined job %d differs from its in-process aggregate", i)
+		}
+	}
+}
+
+// killProxy forwards TCP connections to backend and can sever every active
+// one on demand — a worker restarting between batches, as far as the
+// session can tell.
+type killProxy struct {
+	addr string
+	mu   sync.Mutex
+	live []net.Conn
+}
+
+func newKillProxy(t *testing.T, backend string) *killProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	p := &killProxy{addr: ln.Addr().String()}
+	go func() {
+		for {
+			up, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			down, err := net.Dial("tcp", backend)
+			if err != nil {
+				up.Close()
+				continue
+			}
+			p.mu.Lock()
+			p.live = append(p.live, up, down)
+			p.mu.Unlock()
+			go func() {
+				defer up.Close()
+				defer down.Close()
+				io.Copy(down, up)
+			}()
+			go func() {
+				defer up.Close()
+				defer down.Close()
+				io.Copy(up, down)
+			}()
+		}
+	}()
+	return p
+}
+
+func (p *killProxy) killActive() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.live {
+		c.Close()
+	}
+	p.live = nil
+}
+
+// TestSessionReconnectsAfterWorkerKilledBetweenJobs severs the worker
+// connection between two batches: the session must redial and the second
+// batch must still match its in-process aggregate — the mid-session
+// reconnect half of the determinism contract.
+func TestSessionReconnectsAfterWorkerKilledBetweenJobs(t *testing.T) {
+	addr, accepts := startCountingWorker(t, WorkerOptions{Workers: 1})
+	proxy := newKillProxy(t, addr)
+	s := NewSession([]string{proxy.addr}, Options{ChunkSize: 2, Logf: t.Logf})
+	defer s.Close()
+
+	first := sessionJob(t, 8, 1)
+	wantFirst := inProcessWant(t, first)
+	merge, got := fingerprint()
+	if err := s.Run(first, merge); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != wantFirst {
+		t.Fatal("first batch differs from the in-process aggregate")
+	}
+
+	proxy.killActive()
+
+	second := sessionJob(t, 8, 2)
+	wantSecond := inProcessWant(t, second)
+	merge2, got2 := fingerprint()
+	if err := s.Run(second, merge2); err != nil {
+		t.Fatal(err)
+	}
+	if got2.String() != wantSecond {
+		t.Fatal("batch after a mid-session worker kill differs from the in-process aggregate")
+	}
+	if n := accepts.Load(); n < 2 {
+		t.Fatalf("worker saw %d connections, want ≥ 2 (the kill must have forced a reconnect)", n)
+	}
+}
+
+// TestSessionSurvivesWorkerKilledDuringPipelinedJobs runs two jobs
+// concurrently over a session whose first worker dies mid result stream
+// (and keeps dying on every reconnect): undelivered ranges reassign across
+// reconnects and to the healthy worker, and both merged streams stay
+// byte-identical.
+func TestSessionSurvivesWorkerKilledDuringPipelinedJobs(t *testing.T) {
+	addrs := startWorkers(t, 2, WorkerOptions{Workers: 1})
+	flaky := cutProxy(t, addrs[0], 16384)
+	s := NewSession([]string{flaky, addrs[1]}, Options{ChunkSize: 2, Logf: t.Logf})
+	defer s.Close()
+
+	jobs := []JobSpec{sessionJob(t, 12, 7), sessionJob(t, 12, 8)}
+	wants := []string{inProcessWant(t, jobs[0]), inProcessWant(t, jobs[1])}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	gots := make([]string, 2)
+	for i := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			merge, got := fingerprint()
+			errs[i] = s.Run(jobs[i], merge)
+			gots[i] = got.String()
+		}()
+	}
+	wg.Wait()
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if gots[i] != wants[i] {
+			t.Fatalf("job %d after mid-stream worker kills differs from its in-process aggregate", i)
+		}
+	}
+}
+
+// TestSessionIdleGapDoesNotTripFrameTimeout pins the deadline-clearing fix:
+// with keepalives effectively disabled, a session idling longer than the
+// frame timeout between batches must NOT time out — a deadline left armed
+// from the previous batch would expire in the gap and the next batch's
+// first frame would be misattributed as a stall, forcing a spurious
+// reconnect (observable as a second accept).
+func TestSessionIdleGapDoesNotTripFrameTimeout(t *testing.T) {
+	addr, accepts := startCountingWorker(t, WorkerOptions{Workers: 1})
+	s := NewSession([]string{addr}, Options{
+		ChunkSize:    2,
+		FrameTimeout: 250 * time.Millisecond,
+		Keepalive:    time.Hour,
+		Logf:         t.Logf,
+	})
+	defer s.Close()
+
+	for batch := 0; batch < 2; batch++ {
+		job := sessionJob(t, 6, int64(batch))
+		want := inProcessWant(t, job)
+		merge, got := fingerprint()
+		if err := s.Run(job, merge); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want {
+			t.Fatalf("batch %d differs from the in-process aggregate", batch)
+		}
+		if batch == 0 {
+			time.Sleep(3 * 250 * time.Millisecond) // idle well past the frame timeout
+		}
+	}
+	if n := accepts.Load(); n != 1 {
+		t.Fatalf("idle gap forced %d connections, want 1 (stale deadline tripped?)", n)
+	}
+}
+
+// TestSessionKeepalivePings pins the other half of the idle discipline: an
+// idle session pings its workers (and reads the pongs under the frame
+// timeout), so a silently dead connection is noticed between batches.
+func TestSessionKeepalivePings(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var pings atomic.Int32
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		fw, fr := newFrameWriter(conn), newFrameReader(conn)
+		env, err := fr.read()
+		if err != nil || env.Hello == nil {
+			return
+		}
+		if err := fw.write(&envelope{HelloAck: &helloAckMsg{Version: protocolVersion}}); err != nil {
+			return
+		}
+		for {
+			env, err := fr.read()
+			if err != nil {
+				return
+			}
+			if env.Ping != nil {
+				pings.Add(1)
+				if err := fw.write(&envelope{Pong: &pongMsg{Seq: env.Ping.Seq}}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	s := NewSession([]string{ln.Addr().String()}, Options{
+		FrameTimeout: 200 * time.Millisecond, // keepalive defaults to a quarter of this
+		Logf:         t.Logf,
+	})
+	defer s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for pings.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if pings.Load() == 0 {
+		t.Fatal("idle session never pinged its worker")
+	}
+}
+
+// TestHandshakeRejectionClosesConnection pins the connection-lifecycle fix:
+// when the post-dial handshake fails, the coordinator must close the socket
+// instead of leaking it on the early-return path. The fake worker rejects
+// the session and then watches for the EOF only a closed coordinator end
+// produces.
+func TestHandshakeRejectionClosesConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	sawClose := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			sawClose <- err
+			return
+		}
+		defer conn.Close()
+		fw, fr := newFrameWriter(conn), newFrameReader(conn)
+		if _, err := fr.read(); err != nil {
+			sawClose <- err
+			return
+		}
+		if err := fw.write(&envelope{HelloAck: &helloAckMsg{Version: protocolVersion, Err: "no capacity"}}); err != nil {
+			sawClose <- err
+			return
+		}
+		// A leaked coordinator conn blocks this read until the deadline; the
+		// fixed path closes promptly and it returns io.EOF.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		_, err = fr.read()
+		sawClose <- err
+	}()
+
+	job := testJob(t, 6)
+	merge, got := fingerprint()
+	// The rejected shard retires; the batch completes in-process.
+	if err := Run(job, []string{ln.Addr().String()}, Options{LocalWorkers: 1, Logf: t.Logf}, merge); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("batch did not complete after the handshake rejection")
+	}
+	if err := <-sawClose; !errors.Is(err, io.EOF) {
+		t.Fatalf("worker saw %v, want io.EOF from the coordinator closing the rejected conn", err)
+	}
+}
+
+// TestSessionJobRejectionKeepsSessionAlive ships a job that cannot compile
+// and then a healthy one over the same session: the rejection must fail
+// only its own job — the connection (and the ranges pipelined behind the
+// rejection) stay orderly, and no redial happens.
+func TestSessionJobRejectionKeepsSessionAlive(t *testing.T) {
+	addr, accepts := startCountingWorker(t, WorkerOptions{Workers: 1})
+	s := NewSession([]string{addr}, Options{ChunkSize: 2, Logf: t.Logf})
+	defer s.Close()
+
+	bad := sessionJob(t, 6, 1)
+	bad.Config.Slots = 0
+	merge, _ := fingerprint()
+	err := s.Run(bad, merge)
+	if err == nil || !strings.Contains(err.Error(), "job rejected") {
+		t.Fatalf("want a job rejection error, got %v", err)
+	}
+
+	good := sessionJob(t, 8, 2)
+	want := inProcessWant(t, good)
+	merge2, got := fingerprint()
+	if err := s.Run(good, merge2); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want {
+		t.Fatal("batch after a job rejection differs from the in-process aggregate")
+	}
+	if n := accepts.Load(); n != 1 {
+		t.Fatalf("job rejection forced %d connections, want 1", n)
+	}
+}
+
+// TestWorkerEngineCacheSurvivesReleaseCycles pins the worker-side engine
+// cache against the suite's dominant pattern: batch after batch of the
+// same config, each job released before the next arrives. The compiled
+// engine must be the same object across every cycle — a regression here
+// (e.g. phantom idle-list entries evicting the one hot engine) silently
+// reintroduces a per-batch compile.
+func TestWorkerEngineCacheSurvivesReleaseCycles(t *testing.T) {
+	spec := testJob(t, 4)
+	ws := &workerSession{
+		workers: 1,
+		jobs:    make(map[uint64]*workerJob),
+		engines: make(map[string]*enginePool),
+		jobKeys: make(map[uint64]string),
+	}
+	if msg := ws.addJob(1, spec); msg != "" {
+		t.Fatal(msg)
+	}
+	ep := ws.jobs[1].exec.shared
+	ws.releaseJob(1)
+	for id := uint64(2); id <= 4*maxIdleEngines; id++ {
+		if msg := ws.addJob(id, spec); msg != "" {
+			t.Fatal(msg)
+		}
+		if ws.jobs[id].exec.shared != ep {
+			t.Fatalf("cycle %d recompiled the engine instead of reusing the cache", id)
+		}
+		ws.releaseJob(id)
+	}
+	if len(ws.idle) != 1 {
+		t.Fatalf("idle list holds %d entries for one engine, want 1", len(ws.idle))
+	}
+}
+
+// TestSessionRunAfterCloseRunsInProcess pins the degenerate lifecycle: a
+// closed session still completes work, in-process, with unchanged bits.
+func TestSessionRunAfterCloseRunsInProcess(t *testing.T) {
+	addr, _ := startCountingWorker(t, WorkerOptions{Workers: 1})
+	s := NewSession([]string{addr}, Options{LocalWorkers: 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	job := sessionJob(t, 6, 3)
+	want := inProcessWant(t, job)
+	merge, got := fingerprint()
+	if err := s.Run(job, merge); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want {
+		t.Fatal("run after close differs from the in-process aggregate")
+	}
+}

@@ -13,8 +13,9 @@ import (
 // protocolVersion is bumped whenever the frame layout or message set changes
 // incompatibly. Coordinator and worker refuse to pair across versions, so a
 // stale shardd binary fails loudly at handshake instead of corrupting a
-// batch.
-const protocolVersion = 1
+// batch. Version 2 introduced persistent sessions: job multiplexing by id,
+// keepalive ping/pong, and job release.
+const protocolVersion = 2
 
 // maxFrameBytes bounds a single frame. A per-run Result frame is dominated
 // by the optional per-slot series (Distance, GroupDistance, Selections,
@@ -28,16 +29,20 @@ const maxFrameBytes = 64 << 20
 // union is negligible, and a single stream can carry every message type
 // without out-of-band tagging.
 type envelope struct {
-	Hello     *helloMsg
-	HelloAck  *helloAckMsg
-	Job       *jobMsg
-	JobAck    *jobAckMsg
-	Range     *rangeMsg
-	RunResult *runResultMsg
-	RangeDone *rangeDoneMsg
+	Hello      *helloMsg
+	HelloAck   *helloAckMsg
+	Job        *jobMsg
+	JobAck     *jobAckMsg
+	Range      *rangeMsg
+	RunResult  *runResultMsg
+	RangeDone  *rangeDoneMsg
+	Ping       *pingMsg
+	Pong       *pongMsg
+	JobRelease *jobReleaseMsg
 }
 
-// helloMsg opens a coordinator → worker session.
+// helloMsg opens a coordinator → worker session. One session carries any
+// number of jobs over its lifetime.
 type helloMsg struct {
 	Version int
 }
@@ -48,20 +53,30 @@ type helloAckMsg struct {
 	Err     string
 }
 
-// jobMsg ships the batch descriptor: the worker compiles it into a
-// sim.Engine once and serves every subsequent range against it.
+// jobMsg ships one batch descriptor under a session-unique id: the worker
+// compiles it into a sim.Engine once and serves every subsequent range
+// carrying the same id against it. A session may hold several compiled jobs
+// at once — that is what lets pipelined batches interleave on one stream.
 type jobMsg struct {
+	ID   uint64
 	Spec JobSpec
 }
 
-// jobAckMsg reports whether the descriptor compiled.
+// jobAckMsg reports whether the descriptor compiled. A non-empty Err is a
+// property of the job, not the worker (every worker validates the same
+// descriptor), so the coordinator fails the job without retiring the
+// session.
 type jobAckMsg struct {
+	ID  uint64
 	Err string
 }
 
-// rangeMsg assigns the global run indices [First, First+Count) to the
-// worker.
+// rangeMsg assigns the global run indices [First, First+Count) of job Job
+// to the worker. Workers execute ranges strictly in arrival order, which is
+// what lets the coordinator attribute the result stream to its in-flight
+// ranges without per-result routing state.
 type rangeMsg struct {
+	Job   uint64
 	First int
 	Count int
 }
@@ -72,6 +87,7 @@ type rangeMsg struct {
 // float64 bits exactly, which is what keeps remote aggregates byte-identical
 // to in-process ones.
 type runResultMsg struct {
+	Job uint64
 	Run int
 	Res *sim.Result
 }
@@ -80,49 +96,144 @@ type runResultMsg struct {
 // simulation itself failed — a deterministic job error the coordinator must
 // surface, not a transport failure it may retry.
 type rangeDoneMsg struct {
+	Job   uint64
 	First int
 	Err   string
 }
 
-// writeFrame gob-encodes env and writes it as one length-prefixed frame.
-// Each frame is encoded by a fresh encoder, so frames are self-contained:
-// a reassigned range replays cleanly on a new connection with no shared
-// encoder state to reconstruct.
-func writeFrame(w io.Writer, env *envelope) error {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, 4)) // length placeholder
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+// pingMsg is the coordinator's keepalive probe, sent only while a session is
+// idle (no range in flight): it elicits a pong under the frame timeout, so a
+// silently dead connection is discovered between batches instead of at the
+// next dispatch.
+type pingMsg struct {
+	Seq uint64
+}
+
+// pongMsg answers a ping.
+type pongMsg struct {
+	Seq uint64
+}
+
+// jobReleaseMsg retires a job id the coordinator has finished with, freeing
+// the worker's compiled engine and pooled workspaces for it. There is no
+// reply; ids are session-unique and never reused.
+type jobReleaseMsg struct {
+	ID uint64
+}
+
+// retainFrameBytes is the high-water mark above which the persistent codec
+// buffers are released after an outsized frame instead of staying pinned
+// for the connection's (potentially very long) lifetime. One multi-MB
+// result frame early in a session must not hold that memory through
+// hundreds of small batches on every connection end.
+const retainFrameBytes = 1 << 20
+
+// frameWriter emits length-prefixed frames through one persistent gob
+// encoder. Codec state is per connection, not per frame: gob sends each
+// type descriptor once per stream, so a session's thousandth result frame
+// carries only values — re-encoding descriptors per frame used to dominate
+// the per-batch dispatch cost (gob compileDec/sendActualType in profiles).
+// A reconnect builds a fresh writer on both sides, so reassigned ranges
+// still replay cleanly with no shared state to reconstruct.
+//
+// Not safe for concurrent use; callers serialize writes per connection.
+type frameWriter struct {
+	w     io.Writer
+	frame []byte // one frame under construction: 4-byte prefix + gob bytes
+	enc   *gob.Encoder
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	fw := &frameWriter{w: w}
+	// The encoder targets fw itself (Write below), which appends into the
+	// reusable frame slice; an indirection rather than a bytes.Buffer so
+	// the backing array can be dropped after an outsized frame without
+	// disturbing the encoder's stream state.
+	fw.enc = gob.NewEncoder(fw)
+	return fw
+}
+
+// Write implements io.Writer for the gob encoder.
+func (fw *frameWriter) Write(p []byte) (int, error) {
+	fw.frame = append(fw.frame, p...)
+	return len(p), nil
+}
+
+// write encodes env as one frame: a 4-byte big-endian length prefix and the
+// gob bytes of exactly one Encode call (which may bundle type descriptors
+// ahead of the value — the matching Decode consumes them all).
+func (fw *frameWriter) write(env *envelope) error {
+	fw.frame = append(fw.frame[:0], 0, 0, 0, 0) // length placeholder
+	if err := fw.enc.Encode(env); err != nil {
 		return fmt.Errorf("cluster: encode frame: %w", err)
 	}
-	b := buf.Bytes()
+	b := fw.frame
 	payload := len(b) - 4
 	if payload > maxFrameBytes {
 		return fmt.Errorf("cluster: frame of %d bytes exceeds the %d byte cap", payload, maxFrameBytes)
 	}
 	binary.BigEndian.PutUint32(b[:4], uint32(payload))
-	if _, err := w.Write(b); err != nil {
+	if cap(fw.frame) > retainFrameBytes {
+		fw.frame = nil // release the outsized backing array after this frame
+	}
+	if _, err := fw.w.Write(b); err != nil {
 		return fmt.Errorf("cluster: write frame: %w", err)
 	}
 	return nil
 }
 
-// readFrame reads one length-prefixed frame and decodes its envelope.
-func readFrame(r io.Reader) (*envelope, error) {
+// frameReader reads length-prefixed frames through one persistent gob
+// decoder (the receive half of frameWriter's contract). The length prefix
+// is read and bounds-checked before any allocation, preserving the
+// maxFrameBytes guarantee; the payload buffer is reused across frames (gob
+// copies decoded values out, nothing aliases it).
+//
+// Not safe for concurrent use; one goroutine reads per connection.
+type frameReader struct {
+	r       io.Reader
+	payload []byte
+	cur     bytes.Reader
+	dec     *gob.Decoder
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	fr := &frameReader{r: r}
+	// bytes.Reader implements io.ByteReader, so gob adds no buffering of
+	// its own and each Decode consumes exactly the bytes we hand it.
+	fr.dec = gob.NewDecoder(&fr.cur)
+	return fr
+}
+
+// read reads and decodes one frame.
+func (fr *frameReader) read() (*envelope, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
 		return nil, err // io.EOF signals a clean close between frames
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrameBytes {
 		return nil, fmt.Errorf("cluster: frame length %d outside (0, %d]", n, maxFrameBytes)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if uint32(cap(fr.payload)) < n {
+		fr.payload = make([]byte, n)
+	}
+	fr.payload = fr.payload[:n]
+	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
 		return nil, fmt.Errorf("cluster: read frame body: %w", err)
 	}
+	fr.cur.Reset(fr.payload)
+	if cap(fr.payload) > retainFrameBytes {
+		fr.payload = nil // release the outsized backing array after this frame
+	}
 	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+	if err := fr.dec.Decode(&env); err != nil {
 		return nil, fmt.Errorf("cluster: decode frame: %w", err)
+	}
+	if fr.cur.Len() != 0 {
+		return nil, fmt.Errorf("cluster: frame has %d trailing bytes after its message", fr.cur.Len())
+	}
+	if fr.payload == nil {
+		fr.cur.Reset(nil) // drop the last reference to the outsized array now
 	}
 	return &env, nil
 }

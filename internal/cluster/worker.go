@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +31,13 @@ func (o WorkerOptions) logf(format string, args ...any) {
 	}
 }
 
+// maxIdleEngines bounds how many compiled engines with no live job a worker
+// session keeps warm. The experiment suite's dominant pattern is many
+// consecutive batches of the same few configs, each batch released before
+// the next arrives — retention across the ref-count's zero crossings is
+// what turns the compile into a once-per-config cost.
+const maxIdleEngines = 8
+
 // Serve accepts coordinator connections on ln until the listener is closed,
 // handling each connection on its own goroutine. It returns nil when ln
 // closes. This is the body of cmd/shardd; tests drive it directly on
@@ -44,6 +53,7 @@ func Serve(ln net.Listener, opts WorkerOptions) error {
 		}
 		go func() {
 			defer conn.Close()
+			opts.logf("cluster: session from %s", conn.RemoteAddr())
 			if err := serveConn(conn, opts); err != nil {
 				opts.logf("cluster: connection from %s: %v", conn.RemoteAddr(), err)
 			}
@@ -51,13 +61,117 @@ func Serve(ln net.Listener, opts WorkerOptions) error {
 	}
 }
 
-// serveConn speaks one coordinator session: handshake, one job, then a
-// range loop until the coordinator closes the connection.
-func serveConn(conn net.Conn, opts WorkerOptions) error {
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+// workerJob is one job held by a session. A job whose descriptor failed to
+// compile is kept with its error so pipelined ranges that were already on
+// the wire when the rejection went out are answered with a deterministic
+// range error instead of a protocol violation.
+type workerJob struct {
+	exec       *rangeExec
+	compileErr string
+}
 
-	env, err := readFrame(br)
+// workerSession is the per-connection state: the live jobs and the engine
+// cache they draw from. Engines (and their workspace pools) are shared by
+// every job whose wire config gob-encodes identically, and survive brief
+// idle spells between jobs (maxIdleEngines), so a session streaming batches
+// of the same scenario compiles it exactly once.
+type workerSession struct {
+	workers int
+	jobs    map[uint64]*workerJob
+	engines map[string]*enginePool
+	jobKeys map[uint64]string
+	idle    []string // keys whose refs hit zero, oldest first (lazily pruned)
+}
+
+// addJob compiles (or reuses) the engine for one job descriptor and
+// registers it. It returns the compile error to acknowledge, if any.
+func (ws *workerSession) addJob(id uint64, spec JobSpec) string {
+	wj := &workerJob{}
+	key, keyErr := configKey(spec.Config)
+	var shared *enginePool
+	if keyErr == nil {
+		shared = ws.engines[key]
+	}
+	exec, err := newRangeExec(spec, ws.workers, shared)
+	switch {
+	case err != nil:
+		wj.compileErr = err.Error()
+	case keyErr == nil:
+		ws.engines[key] = exec.shared
+		exec.shared.refs++
+		ws.jobKeys[id] = key
+	}
+	if err == nil {
+		wj.exec = exec
+	}
+	ws.jobs[id] = wj
+	return wj.compileErr
+}
+
+// releaseJob drops a job id. Its engine stays cached while other jobs use
+// it, and lingers in the idle list afterwards until capacity evicts it.
+func (ws *workerSession) releaseJob(id uint64) {
+	if key, ok := ws.jobKeys[id]; ok {
+		delete(ws.jobKeys, id)
+		if ep := ws.engines[key]; ep != nil {
+			if ep.refs--; ep.refs <= 0 {
+				ws.noteIdle(key)
+			}
+		}
+	}
+	delete(ws.jobs, id)
+}
+
+// noteIdle records that key's engine has no live job and evicts the oldest
+// idle engines beyond the retention cap. The list holds distinct,
+// genuinely idle keys (oldest first): a key is de-duplicated on every
+// re-idle and entries re-adopted since they were logged are dropped, so a
+// single hot engine released once per batch occupies exactly one retention
+// slot forever instead of accumulating phantom entries that would evict it.
+func (ws *workerSession) noteIdle(key string) {
+	kept := ws.idle[:0]
+	for _, k := range ws.idle {
+		if ep := ws.engines[k]; k != key && ep != nil && ep.refs <= 0 {
+			kept = append(kept, k)
+		}
+	}
+	ws.idle = append(kept, key)
+	for len(ws.idle) > maxIdleEngines {
+		delete(ws.engines, ws.idle[0])
+		ws.idle = ws.idle[1:]
+	}
+}
+
+// configKey fingerprints a wire config: two configs with the same key
+// compile to interchangeable engines (the encoding is the same gob the wire
+// uses, so key equality is exactly "the worker would receive identical
+// descriptors").
+func configKey(wc WireConfig) (string, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wc); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// serveConn speaks one coordinator session: handshake, then a frame loop
+// multiplexing any number of jobs (by id) and their ranges until the
+// coordinator closes the connection. Ranges execute strictly in arrival
+// order — the ordering contract the coordinator's in-flight attribution
+// relies on. Keepalive pings are answered in the same loop: while a range is
+// executing the coordinator sees progress through the result stream instead.
+func serveConn(conn net.Conn, opts WorkerOptions) error {
+	bw := bufio.NewWriter(conn)
+	fw := newFrameWriter(bw)
+	fr := newFrameReader(bufio.NewReader(conn))
+	flush := func(env *envelope) error {
+		if err := fw.write(env); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	env, err := fr.read()
 	if err != nil {
 		return fmt.Errorf("reading hello: %w", err)
 	}
@@ -68,83 +182,94 @@ func serveConn(conn net.Conn, opts WorkerOptions) error {
 	if env.Hello.Version != protocolVersion {
 		ack.Err = fmt.Sprintf("protocol version %d, worker speaks %d", env.Hello.Version, protocolVersion)
 	}
-	if err := writeFrame(bw, &envelope{HelloAck: &ack}); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
+	if err := flush(&envelope{HelloAck: &ack}); err != nil {
 		return err
 	}
 	if ack.Err != "" {
 		return errors.New(ack.Err)
 	}
 
-	env, err = readFrame(br)
-	if err != nil {
-		return fmt.Errorf("reading job: %w", err)
+	ws := &workerSession{
+		workers: opts.Workers,
+		jobs:    make(map[uint64]*workerJob),
+		engines: make(map[string]*enginePool),
+		jobKeys: make(map[uint64]string),
 	}
-	if env.Job == nil {
-		return errors.New("protocol: expected job")
-	}
-	exec, err := newRangeExec(env.Job.Spec, opts.Workers)
-	var jobAck jobAckMsg
-	if err != nil {
-		jobAck.Err = err.Error()
-	}
-	if err := writeFrame(bw, &envelope{JobAck: &jobAck}); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	if jobAck.Err != "" {
-		return errors.New(jobAck.Err)
-	}
-	opts.logf("cluster: %s: job accepted (%d devices, %d slots, %d runs)",
-		conn.RemoteAddr(), len(env.Job.Spec.Config.Devices), env.Job.Spec.Config.Slots, env.Job.Spec.Runs)
-
 	for {
-		env, err := readFrame(br)
+		env, err := fr.read()
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				return nil // coordinator finished and closed the session
 			}
 			return err
 		}
-		r := env.Range
-		if r == nil {
-			return errors.New("protocol: expected range")
-		}
-		// Overflow-safe bounds check: First+Count could wrap for a corrupt
-		// frame with First near MaxInt, so compare against the remaining
-		// headroom instead of the sum.
-		if r.First < 0 || r.Count <= 0 || r.First > exec.job.Runs || r.Count > exec.job.Runs-r.First {
-			return fmt.Errorf("protocol: range [first=%d, count=%d) outside batch of %d runs", r.First, r.Count, exec.job.Runs)
-		}
-		runErr := exec.run(r.First, r.Count, func(run int, res *sim.Result) error {
-			// Flush per result, not per range: the coordinator's
-			// FrameTimeout is a progress timeout, so every finished run
-			// must reach the wire promptly — a slow chunk buffered until
-			// RangeDone would look like a stalled worker.
-			if err := writeFrame(bw, &envelope{RunResult: &runResultMsg{Run: run, Res: res}}); err != nil {
+		switch {
+		case env.Ping != nil:
+			if err := flush(&envelope{Pong: &pongMsg{Seq: env.Ping.Seq}}); err != nil {
 				return err
 			}
-			return bw.Flush()
-		})
-		done := rangeDoneMsg{First: r.First}
-		if runErr != nil {
-			// Distinguish simulation errors (report to the coordinator, keep
-			// serving) from transport errors (the connection is gone).
-			var wErr *writeError
-			if errors.As(runErr, &wErr) {
-				return wErr.err
+
+		case env.Job != nil:
+			id := env.Job.ID
+			if _, dup := ws.jobs[id]; dup {
+				return fmt.Errorf("protocol: duplicate job id %d", id)
 			}
-			done.Err = runErr.Error()
-		}
-		if err := writeFrame(bw, &envelope{RangeDone: &done}); err != nil {
-			return err
-		}
-		if err := bw.Flush(); err != nil {
-			return err
+			compileErr := ws.addJob(id, env.Job.Spec)
+			if err := flush(&envelope{JobAck: &jobAckMsg{ID: id, Err: compileErr}}); err != nil {
+				return err
+			}
+			if compileErr == "" {
+				opts.logf("cluster: %s: job %d accepted (%d devices, %d slots, %d runs)",
+					conn.RemoteAddr(), id, len(env.Job.Spec.Config.Devices), env.Job.Spec.Config.Slots, env.Job.Spec.Runs)
+			}
+
+		case env.JobRelease != nil:
+			ws.releaseJob(env.JobRelease.ID)
+
+		case env.Range != nil:
+			r := env.Range
+			wj, ok := ws.jobs[r.Job]
+			if !ok {
+				return fmt.Errorf("protocol: range for unknown job %d", r.Job)
+			}
+			if wj.compileErr != "" {
+				// The job never compiled; the coordinator learned that from
+				// the job ack, but ranges pipelined before the ack arrived
+				// still deserve a deterministic answer.
+				if err := flush(&envelope{RangeDone: &rangeDoneMsg{Job: r.Job, First: r.First, Err: wj.compileErr}}); err != nil {
+					return err
+				}
+				continue
+			}
+			// Overflow-safe bounds check: First+Count could wrap for a corrupt
+			// frame with First near MaxInt, so compare against the remaining
+			// headroom instead of the sum.
+			if r.First < 0 || r.Count <= 0 || r.First > wj.exec.job.Runs || r.Count > wj.exec.job.Runs-r.First {
+				return fmt.Errorf("protocol: range [first=%d, count=%d) outside batch of %d runs", r.First, r.Count, wj.exec.job.Runs)
+			}
+			runErr := wj.exec.run(r.First, r.Count, func(run int, res *sim.Result) error {
+				// Flush per result, not per range: the coordinator's
+				// FrameTimeout is a progress timeout, so every finished run
+				// must reach the wire promptly — a slow chunk buffered until
+				// RangeDone would look like a stalled worker.
+				return flush(&envelope{RunResult: &runResultMsg{Job: r.Job, Run: run, Res: res}})
+			})
+			done := rangeDoneMsg{Job: r.Job, First: r.First}
+			if runErr != nil {
+				// Distinguish simulation errors (report to the coordinator, keep
+				// serving) from transport errors (the connection is gone).
+				var wErr *writeError
+				if errors.As(runErr, &wErr) {
+					return wErr.err
+				}
+				done.Err = runErr.Error()
+			}
+			if err := flush(&envelope{RangeDone: &done}); err != nil {
+				return err
+			}
+
+		default:
+			return errors.New("protocol: unexpected frame")
 		}
 	}
 }
@@ -156,36 +281,47 @@ type writeError struct{ err error }
 func (w *writeError) Error() string { return w.err.Error() }
 func (w *writeError) Unwrap() error { return w.err }
 
-// rangeExec executes contiguous run ranges of one job against one compiled
-// engine, reusing a pool of workspaces across ranges. It is the execution
-// core shared by the worker daemon and the coordinator's in-process
-// fallback.
-type rangeExec struct {
-	job     JobSpec
-	eng     *sim.Engine
-	batch   runner.Replications
-	workers int
-	poolMu  sync.Mutex
-	pool    []*sim.Workspace // idle workspaces, reused across ranges
+// enginePool is one compiled engine plus its reusable workspaces — the
+// config-dependent, seed-independent state that jobs of the same wire
+// config share.
+type enginePool struct {
+	eng    *sim.Engine
+	refs   int // live jobs drawing from this pool (session loop only)
+	poolMu sync.Mutex
+	pool   []*sim.Workspace // idle workspaces, reused across ranges and jobs
 }
 
-// newRangeExec compiles the job's config once.
-func newRangeExec(job JobSpec, workers int) (*rangeExec, error) {
-	eng, err := sim.NewEngine(job.Config.SimConfig())
-	if err != nil {
-		return nil, err
+// rangeExec executes contiguous run ranges of one job: per-job seeding
+// (batch) over a possibly shared enginePool. It is the execution core
+// shared by the worker daemon and the coordinator's in-process fallback.
+type rangeExec struct {
+	job     JobSpec
+	batch   runner.Replications
+	workers int
+	shared  *enginePool
+}
+
+// newRangeExec builds the executor for one job, compiling the config only
+// when no shared pool is supplied.
+func newRangeExec(job JobSpec, workers int, shared *enginePool) (*rangeExec, error) {
+	if shared == nil {
+		eng, err := sim.NewEngine(job.Config.SimConfig())
+		if err != nil {
+			return nil, err
+		}
+		shared = &enginePool{eng: eng}
 	}
 	return &rangeExec{
 		job:     job,
-		eng:     eng,
 		batch:   job.batch(),
 		workers: runner.Workers(workers),
+		shared:  shared,
 	}, nil
 }
 
 // run executes the global run indices [first, first+count), calling emit in
 // ascending run order from this goroutine (runner.MergeOrderedPooled's
-// single-merger guarantee). Workspaces are drawn from the exec's pool and
+// single-merger guarantee). Workspaces are drawn from the shared pool and
 // returned afterwards, so steady-state ranges allocate no simulation state.
 // An emit failure is returned wrapped in *writeError.
 func (x *rangeExec) run(first, count int, emit func(run int, res *sim.Result) error) error {
@@ -193,24 +329,25 @@ func (x *rangeExec) run(first, count int, emit func(run int, res *sim.Result) er
 	// joins every worker before returning, so the pool is quiescent again
 	// afterwards; lent tracks how many were taken to support concurrent
 	// newState calls without double-handing a workspace.
+	ep := x.shared
 	var lent int
 	newState := func() *sim.Workspace {
-		x.poolMu.Lock()
-		defer x.poolMu.Unlock()
-		if lent < len(x.pool) {
-			ws := x.pool[lent]
+		ep.poolMu.Lock()
+		defer ep.poolMu.Unlock()
+		if lent < len(ep.pool) {
+			ws := ep.pool[lent]
 			lent++
 			return ws
 		}
-		ws := x.eng.NewWorkspace()
-		x.pool = append(x.pool, ws)
+		ws := ep.eng.NewWorkspace()
+		ep.pool = append(ep.pool, ws)
 		lent++
 		return ws
 	}
 	return runner.MergeOrderedPooled(x.workers, count, newState,
 		func(ws *sim.Workspace, i int) (*sim.Result, error) {
 			run := first + i
-			return x.eng.Run(ws, x.batch.SeedFor(run))
+			return ep.eng.Run(ws, x.batch.SeedFor(run))
 		},
 		func(i int, res *sim.Result) error {
 			if err := emit(first+i, res); err != nil {

@@ -43,6 +43,20 @@ type Options struct {
 	// byte-identical either way; configurations that cannot cross the wire
 	// (the ablation's PolicyFactory) silently stay in-process.
 	Cluster []string
+	// Session, when non-nil, carries Cluster batches over a persistent
+	// worker session instead of dialing per batch: the experiment suite is
+	// hundreds of small batches, and a warm session turns each one into a
+	// couple of frames on an open stream. cmd/reproduce opens one session
+	// for the whole run. Cluster must still list the addresses (it gates
+	// the shardable check and the fallback).
+	Session *cluster.Session
+	// ClusterAffinity tags this experiment's batches with a 1-based
+	// placement hint: a session offers chunks of experiment a to shard
+	// (a-1) mod nShards first, so concurrently running experiments
+	// (-parexp) each stream to "their" worker instead of interleaving
+	// everywhere. Zero means no preference; results are byte-identical
+	// regardless.
+	ClusterAffinity int
 
 	// ScaleRuns and ScaleSlots control the Figure 6 scalability sweep
 	// (paper: 500 runs of 8640 slots).
@@ -126,6 +140,13 @@ func (o Options) replicate(batch runner.Replications, cfg sim.Config, merge func
 		job, err := cluster.NewJob(batch, cfg)
 		if err != nil {
 			return err
+		}
+		job.Affinity = o.ClusterAffinity
+		if o.Session != nil {
+			// The persistent session: no dial, no handshake — the job's
+			// descriptor and ranges pipeline onto the already-open worker
+			// streams.
+			return o.Session.Run(job, merge)
 		}
 		opts := cluster.Options{
 			LocalWorkers: batch.Workers,

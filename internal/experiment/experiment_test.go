@@ -245,6 +245,52 @@ func TestReplicateClusterMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestReplicateSessionMatchesInProcess pins the persistent-session hook:
+// o.replicate with a Session configured must merge the exact result stream
+// the in-process path merges, across several back-to-back batches on
+// distinct streams — the experiment suite's shape — over one session.
+func TestReplicateSessionMatchesInProcess(t *testing.T) {
+	cfg := sim.Config{
+		Topology: netmodel.Setting1(),
+		Devices:  sim.UniformDevices(5, core.AlgSmartEXP3),
+		Slots:    50,
+		Collect:  sim.CollectOptions{Distance: true, Probabilities: true},
+	}
+	o := tinyOptions()
+	fp := func(o Options, stream int64) string {
+		var sb strings.Builder
+		err := o.replicate(o.replications(8, 9000, stream), cfg, func(run int, res *sim.Result) error {
+			fmt.Fprintf(&sb, "%d:", run)
+			for d := range res.Devices {
+				fmt.Fprintf(&sb, "%x;", res.Devices[d].DownloadMb)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	wants := []string{fp(o, 1), fp(o, 2), fp(o, 3)}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go cluster.Serve(ln, cluster.WorkerOptions{})
+	o.Cluster = []string{ln.Addr().String()}
+	sess := cluster.NewSession(o.Cluster, cluster.Options{})
+	defer sess.Close()
+	o.Session = sess
+	o.ClusterAffinity = 1
+	for i, want := range wants {
+		if got := fp(o, int64(i+1)); got != want {
+			t.Fatalf("session batch %d differs from the in-process stream", i+1)
+		}
+	}
+}
+
 // TestAblationRunsWithClusterConfigured pins the fallback: the ablation's
 // PolicyFactory cannot cross the wire, so a configured cluster must not
 // break it — it silently runs in-process.
