@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
+	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +23,7 @@ import (
 	"smartexp3/internal/experiment"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/runner"
+	"smartexp3/internal/serve"
 	"smartexp3/internal/sim"
 )
 
@@ -302,6 +306,141 @@ func BenchmarkSimReplication(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServeSelect measures the decision service's hot path in
+// process: one warm Select+Feedback cycle against the sharded device store
+// (shard routing, device lookup, pending-slot bookkeeping and the Fast
+// EXP3 draw). The device is warm — past explore-first, availability
+// unchanged — which is the steady state a long-lived daemon serves, and
+// the path the BENCH_runner.json gate holds to ≤ 1 alloc/op (it measures
+// 0). The reported decisions/s is single-goroutine; see
+// BenchmarkServeSelectParallel for the sharded fan-out.
+func BenchmarkServeSelect(b *testing.B) {
+	store, err := serve.NewStore(serve.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arms := []int{0, 1, 2, 3}
+	gains := []float64{0.2, 0.4, 0.9, 0.5}
+	for i := 0; i < 300; i++ { // warm: past explore-first and pool growth
+		arm, err := store.Select(7, arms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.Feedback(7, arm, gains[arm])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arm, err := store.Select(7, arms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.Feedback(7, arm, gains[arm])
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "decisions/s")
+	}
+}
+
+// BenchmarkServeSelectParallel drives the store from GOMAXPROCS goroutines
+// over disjoint warm devices — the daemon's saturated shape. The headline
+// metric is decisions/s/core: per-shard mutexes mean it should hold near
+// the serial rate instead of collapsing onto one lock.
+func BenchmarkServeSelectParallel(b *testing.B) {
+	store, err := serve.NewStore(serve.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arms := []int{0, 1, 2, 3}
+	gains := []float64{0.2, 0.4, 0.9, 0.5}
+	procs := runtime.GOMAXPROCS(0)
+	for dev := uint64(0); dev < uint64(procs); dev++ { // warm every goroutine's device
+		for i := 0; i < 300; i++ {
+			arm, err := store.Select(dev, arms)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store.Feedback(dev, arm, gains[arm])
+		}
+	}
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dev := (next.Add(1) - 1) % uint64(procs)
+		for pb.Next() {
+			arm, err := store.Select(dev, arms)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			store.Feedback(dev, arm, gains[arm])
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs/float64(procs), "decisions/s/core")
+	}
+}
+
+// BenchmarkServeWire measures one Select+Feedback decision round trip
+// through the full stack — client batching, framed gob both ways, the
+// server's connection loop, the store — over loopback TCP, and reports the
+// p99 per-decision latency alongside the mean. Like the cluster wire rows,
+// allocs/op is recorded ungated (gob internals dominate); the row's
+// presence is still enforced.
+func BenchmarkServeWire(b *testing.B) {
+	store, err := serve.NewStore(serve.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	srv := serve.NewServer(store, serve.ServerOptions{})
+	go srv.Serve(ln)
+	defer srv.Close()
+	c, err := serve.Dial(ln.Addr().String(), serve.ClientOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	arms := []int{0, 1, 2, 3}
+	gains := []float64{0.2, 0.4, 0.9, 0.5}
+	for i := 0; i < 300; i++ { // warm device, codec type descriptors, buffers
+		arm, err := c.Select(7, arms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Feedback(7, arm, gains[arm]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		arm, err := c.Select(7, arms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Feedback(7, arm, gains[arm]); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	if len(lat) > 0 {
+		b.ReportMetric(float64(lat[len(lat)*99/100]), "p99-ns/op")
 	}
 }
 

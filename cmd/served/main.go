@@ -1,0 +1,157 @@
+// Command served is the bandit-as-a-service decision daemon: it holds one
+// Smart EXP3 policy per device session and answers Select / Feedback over
+// the framed-gob wire (internal/serve), so fleets of clients outsource
+// their per-slot network choice to a process that survives them.
+//
+// State is per-device and seeded per-device (rngutil.ChildSeed of -seed and
+// the device id), so the daemon's decisions are a deterministic function of
+// its flags and the request history. With -snapshot set, the daemon
+// restores that state at boot, persists it on SIGTERM/SIGINT before
+// exiting, and (with -snapshot-every) checkpoints it periodically — a
+// restart resumes every device's learned weights bit for bit.
+//
+// Usage:
+//
+//	served                                  # listen on 127.0.0.1:9632
+//	served -listen 0.0.0.0:9632 -alg smart  # serve Smart EXP3 to the network
+//	served -snapshot /var/lib/served.snap -snapshot-every 5m
+//
+// The protocol is unauthenticated and unencrypted (stdlib gob over TCP):
+// run served only on networks where every peer is trusted, exactly like
+// shardd.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "served:", err)
+		os.Exit(1)
+	}
+}
+
+// algorithmsByName mirrors cmd/simulate's flag vocabulary, restricted to
+// the EXP3 family whose policy state the serve layer can snapshot.
+var algorithmsByName = map[string]core.Algorithm{
+	"exp3":    core.AlgEXP3,
+	"block":   core.AlgBlockEXP3,
+	"hybrid":  core.AlgHybridBlockEXP3,
+	"smartnr": core.AlgSmartEXP3NoReset,
+	"smart":   core.AlgSmartEXP3,
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("served", flag.ContinueOnError)
+	var (
+		listen   = fs.String("listen", "127.0.0.1:9632", "address to accept client connections on")
+		algName  = fs.String("alg", "smart", "policy to serve: exp3|block|hybrid|smartnr|smart")
+		seed     = fs.Int64("seed", 1, "root seed; device d draws from ChildSeed(seed, d)")
+		shards   = fs.Int("state-shards", 0, "device-map shard count (default: 4×GOMAXPROCS, rounded to a power of two)")
+		maxArms  = fs.Int("max-arms", 0, "per-request arm-set bound (default 1024)")
+		snapshot = fs.String("snapshot", "", "state file: restored at boot if present, written on SIGTERM/SIGINT")
+		every    = fs.Duration("snapshot-every", 0, "also checkpoint the state file at this interval (requires -snapshot)")
+		quiet    = fs.Bool("quiet", false, "suppress log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alg, ok := algorithmsByName[*algName]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (want exp3|block|hybrid|smartnr|smart)", *algName)
+	}
+	if *every > 0 && *snapshot == "" {
+		return fmt.Errorf("-snapshot-every requires -snapshot")
+	}
+
+	store, err := serve.NewStore(serve.Config{
+		Algorithm: alg,
+		Seed:      *seed,
+		Shards:    *shards,
+		MaxArms:   *maxArms,
+	})
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "served: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	if *snapshot != "" {
+		switch err := store.LoadFile(*snapshot); {
+		case err == nil:
+			logf("restored %d device sessions from %s", store.Devices(), *snapshot)
+		case errors.Is(err, os.ErrNotExist):
+			logf("no snapshot at %s, starting fresh", *snapshot)
+		default:
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	srv := serve.NewServer(store, serve.ServerOptions{})
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+	// shutdown is closed before the listener, so the Serve error path below
+	// can tell an orderly signal exit from a transport failure without a
+	// race.
+	shutdown := make(chan struct{})
+	go func() {
+		var tick <-chan time.Time
+		if *every > 0 {
+			t := time.NewTicker(*every)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case sig := <-sigCh:
+				logf("caught %v, flushing state", sig)
+				close(shutdown)
+				ln.Close()  // stop accepting; Serve returns
+				srv.Close() // tear down live connections; Serve's drain finishes
+				return
+			case <-tick:
+				if err := store.SaveFile(*snapshot); err != nil {
+					logf("checkpoint failed: %v", err)
+				} else {
+					logf("checkpointed %d device sessions to %s", store.Devices(), *snapshot)
+				}
+			}
+		}
+	}()
+
+	logf("serving %v on %s", alg, ln.Addr())
+	serveErr := srv.Serve(ln)
+	select {
+	case <-shutdown: // orderly exit: the listener close is ours, flush state
+		if *snapshot != "" {
+			if err := store.SaveFile(*snapshot); err != nil {
+				return err
+			}
+			logf("flushed %d device sessions to %s", store.Devices(), *snapshot)
+		}
+		return nil
+	default:
+		return serveErr
+	}
+}

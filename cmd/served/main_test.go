@@ -1,0 +1,156 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"smartexp3/internal/serve"
+)
+
+// bootDaemon starts run() as main would, on an ephemeral port, and waits
+// for the listener. It returns the address and the daemon's exit channel.
+func bootDaemon(t *testing.T, extra ...string) (string, chan error) {
+	t.Helper()
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(append([]string{"-listen", addr, "-quiet"}, extra...)) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			return addr, errCh
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("served never started listening: %v", err)
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("served exited early: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// driveDaemon runs the scripted slots [from, to) against the daemon and
+// returns the selections. The final Ping is the barrier that proves the
+// daemon applied every buffered feedback report before we move on.
+func driveDaemon(t *testing.T, addr string, from, to int) []int {
+	t.Helper()
+	c, err := serve.Dial(addr, serve.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	arms := []int{10, 20, 30}
+	var out []int
+	for slot := from; slot < to; slot++ {
+		for _, dev := range []uint64{1, 2} {
+			arm, err := c.Select(dev, arms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, arm)
+			if err := c.Feedback(dev, arm, float64(arm%7)/7); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunSnapshotCycleResumesBitIdentically is the daemon-level half of the
+// snapshot contract: serve traffic, SIGTERM (flushes state), reboot from
+// the snapshot, continue — the rebooted daemon must decide exactly as an
+// uninterrupted store fed the same script.
+func TestRunSnapshotCycleResumesBitIdentically(t *testing.T) {
+	const cut, end = 60, 120
+	snap := filepath.Join(t.TempDir(), "state.snap")
+
+	// Uninterrupted reference: the same script against an in-process store
+	// with the daemon's defaults.
+	ref, err := serve.NewStore(serve.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := []int{10, 20, 30}
+	var want []int
+	for slot := 0; slot < end; slot++ {
+		for _, dev := range []uint64{1, 2} {
+			arm, err := ref.Select(dev, arms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if slot >= cut {
+				want = append(want, arm)
+			}
+			ref.Feedback(dev, arm, float64(arm%7)/7)
+		}
+	}
+
+	addr, errCh := bootDaemon(t, "-snapshot", snap)
+	driveDaemon(t, addr, 0, cut)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit on SIGTERM")
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("SIGTERM did not flush the snapshot: %v", err)
+	}
+
+	addr2, errCh2 := bootDaemon(t, "-snapshot", snap)
+	got := driveDaemon(t, addr2, cut, end)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("selection %d after reboot: daemon chose %d, uninterrupted store %d", i, got[i], want[i])
+		}
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh2:
+		if err != nil {
+			t.Fatalf("second SIGTERM exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("rebooted daemon did not exit on SIGTERM")
+	}
+}
+
+// TestRunRejectsBadFlags pins the flag surface.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-alg", "greedy"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("greedy must be rejected (no exportable state), got %v", err)
+	}
+	if err := run([]string{"-snapshot-every", "1m"}); err == nil ||
+		!strings.Contains(err.Error(), "requires -snapshot") {
+		t.Fatalf("-snapshot-every without -snapshot must be rejected, got %v", err)
+	}
+	if err := run([]string{"-listen", "not-an-address"}); err == nil {
+		t.Fatal("want a listen error")
+	}
+}

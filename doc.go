@@ -62,7 +62,7 @@
 //
 // # Architecture
 //
-// The execution stack is four layers, each adding one scaling axis on top
+// The execution stack is five layers, each adding one scaling axis on top
 // of the one below while preserving a single determinism contract:
 //
 //   - Engine (internal/sim): the compiled, immutable form of a simulation
@@ -89,6 +89,23 @@
 //     the coordinator reassigns the ranges of failed connections
 //     (reconnecting where possible) and merges each job through the same
 //     single-goroutine ordered merge.
+//   - Serve (internal/serve, cmd/served): the online decision service —
+//     the same policies answering live Select/Feedback traffic instead of
+//     simulated slots. Where the Engine/Workspace split separates compiled
+//     configuration from one replication's mutable state, the serve layer
+//     separates it from per-device policy state: a sharded device store
+//     (GOMAXPROCS-scaled shards, one mutex each) holds one Smart EXP3
+//     instance plus one seeded RNG stream per device, pooled and
+//     reinitialized in place so device churn is allocation-free warm.
+//     Requests travel over the cluster layer's framed-gob transport
+//     (cluster.FrameWriter/FrameReader) with batched fire-and-forget
+//     feedback. The store is a pure function of (algorithm, config, seed)
+//     and the request history: devices draw from independent
+//     rngutil.ChildSeed streams, snapshots serialize devices in sorted id
+//     order with exact policy and RNG-cursor state, and a
+//     snapshot/restart/replay is byte-identical to an uninterrupted run —
+//     the daemon checkpoints on SIGTERM (and optionally on a timer) and
+//     resumes mid-stream without losing learned weights.
 //
 // The determinism contract ties the layers together: per-run seeds are a
 // pure function of (base seed, stream ids, run index) via

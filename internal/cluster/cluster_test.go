@@ -362,7 +362,7 @@ func TestWorkerRejectsBadJob(t *testing.T) {
 
 // dialRaw opens a hand-driven protocol connection with its per-connection
 // codec pair (the persistent-gob framing every peer speaks).
-func dialRaw(t *testing.T, addr string) (net.Conn, *frameWriter, *frameReader) {
+func dialRaw(t *testing.T, addr string) (net.Conn, *FrameWriter, *FrameReader) {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {

@@ -517,8 +517,8 @@ type epoch struct {
 
 	conn net.Conn
 	bw   *bufio.Writer
-	fw   *frameWriter // persistent gob state; guarded by wmu with bw
-	fr   *frameReader // reader goroutine only (handshake happens before it starts)
+	fw   *FrameWriter // persistent gob state; guarded by wmu with bw
+	fr   *FrameReader // reader goroutine only (handshake happens before it starts)
 	wmu  sync.Mutex   // serializes writer-loop and keepalive writes
 
 	dead atomic.Bool

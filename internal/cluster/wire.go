@@ -128,7 +128,7 @@ type jobReleaseMsg struct {
 // hundreds of small batches on every connection end.
 const retainFrameBytes = 1 << 20
 
-// frameWriter emits length-prefixed frames through one persistent gob
+// FrameWriter emits length-prefixed frames through one persistent gob
 // encoder. Codec state is per connection, not per frame: gob sends each
 // type descriptor once per stream, so a session's thousandth result frame
 // carries only values — re-encoding descriptors per frame used to dominate
@@ -136,45 +136,56 @@ const retainFrameBytes = 1 << 20
 // A reconnect builds a fresh writer on both sides, so reassigned ranges
 // still replay cleanly with no shared state to reconstruct.
 //
+// The codec is message-type agnostic (Encode takes any value gob accepts),
+// so other framed-gob daemons — internal/serve's decision service — reuse
+// it with their own envelope types instead of reimplementing the framing
+// and its length/trailing-bytes hygiene.
+//
 // Not safe for concurrent use; callers serialize writes per connection.
-type frameWriter struct {
-	w     io.Writer
-	frame []byte // one frame under construction: 4-byte prefix + gob bytes
-	enc   *gob.Encoder
+type FrameWriter struct {
+	w   io.Writer
+	buf frameBuf // one frame under construction: 4-byte prefix + gob bytes
+	enc *gob.Encoder
 }
 
-func newFrameWriter(w io.Writer) *frameWriter {
-	fw := &frameWriter{w: w}
-	// The encoder targets fw itself (Write below), which appends into the
-	// reusable frame slice; an indirection rather than a bytes.Buffer so
-	// the backing array can be dropped after an outsized frame without
-	// disturbing the encoder's stream state.
-	fw.enc = gob.NewEncoder(fw)
-	return fw
-}
+// frameBuf is the io.Writer the gob encoder targets: it appends into a
+// reusable slice. An indirection rather than a bytes.Buffer so the backing
+// array can be dropped after an outsized frame without disturbing the
+// encoder's stream state, and so FrameWriter exposes no public Write.
+type frameBuf struct{ b []byte }
 
-// Write implements io.Writer for the gob encoder.
-func (fw *frameWriter) Write(p []byte) (int, error) {
-	fw.frame = append(fw.frame, p...)
+func (fb *frameBuf) Write(p []byte) (int, error) {
+	fb.b = append(fb.b, p...)
 	return len(p), nil
 }
 
-// write encodes env as one frame: a 4-byte big-endian length prefix and the
+// NewFrameWriter returns a frame writer whose codec state lives for the
+// whole connection. Pair it with a NewFrameReader on the receiving side.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	fw := &FrameWriter{w: w}
+	fw.enc = gob.NewEncoder(&fw.buf)
+	return fw
+}
+
+// newFrameWriter is the package-internal spelling.
+func newFrameWriter(w io.Writer) *FrameWriter { return NewFrameWriter(w) }
+
+// Encode writes msg as one frame: a 4-byte big-endian length prefix and the
 // gob bytes of exactly one Encode call (which may bundle type descriptors
 // ahead of the value — the matching Decode consumes them all).
-func (fw *frameWriter) write(env *envelope) error {
-	fw.frame = append(fw.frame[:0], 0, 0, 0, 0) // length placeholder
-	if err := fw.enc.Encode(env); err != nil {
+func (fw *FrameWriter) Encode(msg any) error {
+	fw.buf.b = append(fw.buf.b[:0], 0, 0, 0, 0) // length placeholder
+	if err := fw.enc.Encode(msg); err != nil {
 		return fmt.Errorf("cluster: encode frame: %w", err)
 	}
-	b := fw.frame
+	b := fw.buf.b
 	payload := len(b) - 4
 	if payload > maxFrameBytes {
 		return fmt.Errorf("cluster: frame of %d bytes exceeds the %d byte cap", payload, maxFrameBytes)
 	}
 	binary.BigEndian.PutUint32(b[:4], uint32(payload))
-	if cap(fw.frame) > retainFrameBytes {
-		fw.frame = nil // release the outsized backing array after this frame
+	if cap(fw.buf.b) > retainFrameBytes {
+		fw.buf.b = nil // release the outsized backing array after this frame
 	}
 	if _, err := fw.w.Write(b); err != nil {
 		return fmt.Errorf("cluster: write frame: %w", err)
@@ -182,58 +193,76 @@ func (fw *frameWriter) write(env *envelope) error {
 	return nil
 }
 
-// frameReader reads length-prefixed frames through one persistent gob
-// decoder (the receive half of frameWriter's contract). The length prefix
+// write encodes one cluster envelope (the package's own protocol).
+func (fw *FrameWriter) write(env *envelope) error { return fw.Encode(env) }
+
+// FrameReader reads length-prefixed frames through one persistent gob
+// decoder (the receive half of FrameWriter's contract). The length prefix
 // is read and bounds-checked before any allocation, preserving the
 // maxFrameBytes guarantee; the payload buffer is reused across frames (gob
 // copies decoded values out, nothing aliases it).
 //
 // Not safe for concurrent use; one goroutine reads per connection.
-type frameReader struct {
+type FrameReader struct {
 	r       io.Reader
 	payload []byte
 	cur     bytes.Reader
 	dec     *gob.Decoder
 }
 
-func newFrameReader(r io.Reader) *frameReader {
-	fr := &frameReader{r: r}
+// NewFrameReader returns a frame reader for one connection's inbound
+// stream. See NewFrameWriter.
+func NewFrameReader(r io.Reader) *FrameReader {
+	fr := &FrameReader{r: r}
 	// bytes.Reader implements io.ByteReader, so gob adds no buffering of
 	// its own and each Decode consumes exactly the bytes we hand it.
 	fr.dec = gob.NewDecoder(&fr.cur)
 	return fr
 }
 
-// read reads and decodes one frame.
-func (fr *frameReader) read() (*envelope, error) {
+// newFrameReader is the package-internal spelling.
+func newFrameReader(r io.Reader) *FrameReader { return NewFrameReader(r) }
+
+// Decode reads one frame and decodes it into msg (a pointer, as for
+// gob.Decoder.Decode). A clean connection close between frames surfaces as
+// io.EOF exactly.
+func (fr *FrameReader) Decode(msg any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
-		return nil, err // io.EOF signals a clean close between frames
+		return err // io.EOF signals a clean close between frames
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrameBytes {
-		return nil, fmt.Errorf("cluster: frame length %d outside (0, %d]", n, maxFrameBytes)
+		return fmt.Errorf("cluster: frame length %d outside (0, %d]", n, maxFrameBytes)
 	}
 	if uint32(cap(fr.payload)) < n {
 		fr.payload = make([]byte, n)
 	}
 	fr.payload = fr.payload[:n]
 	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
-		return nil, fmt.Errorf("cluster: read frame body: %w", err)
+		return fmt.Errorf("cluster: read frame body: %w", err)
 	}
 	fr.cur.Reset(fr.payload)
 	if cap(fr.payload) > retainFrameBytes {
 		fr.payload = nil // release the outsized backing array after this frame
 	}
-	var env envelope
-	if err := fr.dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("cluster: decode frame: %w", err)
+	if err := fr.dec.Decode(msg); err != nil {
+		return fmt.Errorf("cluster: decode frame: %w", err)
 	}
 	if fr.cur.Len() != 0 {
-		return nil, fmt.Errorf("cluster: frame has %d trailing bytes after its message", fr.cur.Len())
+		return fmt.Errorf("cluster: frame has %d trailing bytes after its message", fr.cur.Len())
 	}
 	if fr.payload == nil {
 		fr.cur.Reset(nil) // drop the last reference to the outsized array now
+	}
+	return nil
+}
+
+// read reads and decodes one cluster envelope (the package's own protocol).
+func (fr *FrameReader) read() (*envelope, error) {
+	var env envelope
+	if err := fr.Decode(&env); err != nil {
+		return nil, err
 	}
 	return &env, nil
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
@@ -20,6 +21,15 @@ type WorkerOptions struct {
 	// range across; 0 or less means GOMAXPROCS. Parallelism is a local
 	// choice and never affects results (runner's determinism contract).
 	Workers int
+	// WriteTimeout bounds each outbound frame write (result streaming,
+	// acks, pongs); 0 means 2 minutes (the coordinator's frame-timeout
+	// default), negative disables. It is the worker-side mirror of the
+	// coordinator's per-frame write deadline: a coordinator that dies — or
+	// stalls — without closing the connection stops draining, the TCP
+	// buffer fills, and without a deadline the serving goroutine would park
+	// on that write forever, pinning the session's compiled engines and
+	// workspace pools with it.
+	WriteTimeout time.Duration
 	// Logf, when non-nil, receives connection-level progress and failure
 	// lines.
 	Logf func(format string, args ...any)
@@ -29,6 +39,16 @@ func (o WorkerOptions) logf(format string, args ...any) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
 	}
+}
+
+func (o WorkerOptions) writeTimeout() time.Duration {
+	if o.WriteTimeout < 0 {
+		return 0
+	}
+	if o.WriteTimeout == 0 {
+		return 2 * time.Minute
+	}
+	return o.WriteTimeout
 }
 
 // maxIdleEngines bounds how many compiled engines with no live job a worker
@@ -164,7 +184,16 @@ func serveConn(conn net.Conn, opts WorkerOptions) error {
 	bw := bufio.NewWriter(conn)
 	fw := newFrameWriter(bw)
 	fr := newFrameReader(bufio.NewReader(conn))
+	wt := opts.writeTimeout()
 	flush := func(env *envelope) error {
+		// Per-frame write deadline, like the coordinator's epoch.write: a
+		// peer that stopped draining surfaces within the timeout instead of
+		// parking this goroutine on a full TCP buffer for good.
+		if wt > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+				return err
+			}
+		}
 		if err := fw.write(env); err != nil {
 			return err
 		}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"smartexp3/internal/rngutil"
+)
+
+// envGain is a deterministic environment: the gain of an arm at a slot is a
+// pure function of both, so two policies making identical selections observe
+// identical gains.
+func envGain(arm, slot int) float64 {
+	x := math.Sin(float64(arm*31+slot)*0.7)*0.4 + 0.5
+	return math.Min(math.Max(x, 0), 1)
+}
+
+// driveSlots runs the policy n slots against envGain starting at slot base,
+// returning the selection sequence.
+func driveSlots(p *SmartEXP3, base, n int) []int {
+	out := make([]int, n)
+	for t := 0; t < n; t++ {
+		arm := p.Select()
+		out[t] = arm
+		p.Observe(envGain(arm, base+t))
+	}
+	return out
+}
+
+func TestExportImportContinuesBitIdentically(t *testing.T) {
+	for _, alg := range []Algorithm{AlgEXP3, AlgHybridBlockEXP3, AlgSmartEXP3} {
+		t.Run(alg.String(), func(t *testing.T) {
+			const warm, tail = 400, 400
+			avail := []int{2, 5, 9, 11}
+
+			src := rngutil.NewSource(1234)
+			p := NewSmartEXP3(alg.String(), FeaturesFor(alg), avail, DefaultConfig(), rand.New(src))
+			driveSlots(p, 0, warm)
+
+			// Capture (policy state, rng state) at the cut point.
+			var st PolicyState
+			p.ExportState(&st)
+			rngSt := src.State()
+
+			want := driveSlots(p, warm, tail)
+
+			// Restore into a fresh policy over a different initial set — the
+			// import must fully overwrite it.
+			src2 := &rngutil.Source{}
+			src2.SetState(rngSt)
+			rng2 := rand.New(src2)
+			q := NewSmartEXP3(alg.String(), FeaturesFor(alg), []int{1, 3}, DefaultConfig(), rand.New(rngutil.NewSource(9)))
+			if err := q.ImportState(&st, rng2); err != nil {
+				t.Fatal(err)
+			}
+			got := driveSlots(q, warm, tail)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("selection diverges at slot %d: got %d want %d", i, got[i], want[i])
+				}
+			}
+			if p.Resets() != q.Resets() || p.Switches() != q.Switches() {
+				t.Fatalf("counters diverge: resets %d/%d switches %d/%d",
+					p.Resets(), q.Resets(), p.Switches(), q.Switches())
+			}
+		})
+	}
+}
+
+func TestExportImportSurvivesAvailabilityChurn(t *testing.T) {
+	sets := [][]int{{1, 2, 3}, {2, 3, 7}, {1, 2, 3, 7}, {3, 7}}
+	src := rngutil.NewSource(77)
+	p := NewSmartEXP3("Smart EXP3", FeaturesFor(AlgSmartEXP3), sets[0], DefaultConfig(), rand.New(src))
+	slot := 0
+	for i := 0; i < 8; i++ {
+		p.SetAvailable(sets[i%len(sets)])
+		driveSlots(p, slot, 50)
+		slot += 50
+	}
+
+	var st PolicyState
+	p.ExportState(&st)
+	rngSt := src.State()
+	want := driveSlots(p, slot, 200)
+
+	src2 := &rngutil.Source{}
+	src2.SetState(rngSt)
+	q := NewSmartEXP3("Smart EXP3", FeaturesFor(AlgSmartEXP3), []int{0}, DefaultConfig(), rand.New(rngutil.NewSource(1)))
+	if err := q.ImportState(&st, rand.New(src2)); err != nil {
+		t.Fatal(err)
+	}
+	got := driveSlots(q, slot, 200)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("post-churn continuation diverges")
+	}
+}
+
+func TestExportImportExportIsLossless(t *testing.T) {
+	src := rngutil.NewSource(5)
+	p := NewSmartEXP3("Smart EXP3", FeaturesFor(AlgSmartEXP3), []int{0, 1, 2}, DefaultConfig(), rand.New(src))
+	driveSlots(p, 0, 300)
+
+	var a PolicyState
+	p.ExportState(&a)
+	q := NewSmartEXP3("Smart EXP3", FeaturesFor(AlgSmartEXP3), []int{0, 1}, DefaultConfig(), rand.New(rngutil.NewSource(2)))
+	if err := q.ImportState(&a, rand.New(rngutil.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	var b PolicyState
+	q.ExportState(&b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("export → import → export is not the identity")
+	}
+}
+
+func TestExportStateReusesBuffers(t *testing.T) {
+	p := NewSmartEXP3("Smart EXP3", FeaturesFor(AlgSmartEXP3), []int{0, 1, 2}, DefaultConfig(), rand.New(rngutil.NewSource(8)))
+	driveSlots(p, 0, 100)
+	var st PolicyState
+	p.ExportState(&st) // size the buffers once
+	allocs := testing.AllocsPerRun(50, func() {
+		p.ExportState(&st)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm ExportState allocates %.0f objects per call", allocs)
+	}
+}
+
+func TestPolicyStateValidateRejectsCorruptStates(t *testing.T) {
+	mk := func() *PolicyState {
+		p := NewSmartEXP3("Smart EXP3", FeaturesFor(AlgSmartEXP3), []int{0, 1, 2}, DefaultConfig(), rand.New(rngutil.NewSource(4)))
+		driveSlots(p, 0, 50)
+		var st PolicyState
+		p.ExportState(&st)
+		return &st
+	}
+	tests := []struct {
+		name   string
+		mutate func(*PolicyState)
+	}{
+		{"empty availability", func(s *PolicyState) { s.Available = nil }},
+		{"unsorted availability", func(s *PolicyState) { s.Available[0], s.Available[1] = s.Available[1], s.Available[0] }},
+		{"duplicate availability", func(s *PolicyState) { s.Available[1] = s.Available[0] }},
+		{"short LogW", func(s *PolicyState) { s.LogW = s.LogW[:1] }},
+		{"short Tree", func(s *PolicyState) { s.Tree = s.Tree[:2] }},
+		{"Cur out of range", func(s *PolicyState) { s.Cur = 99 }},
+		{"PendingSB below -1", func(s *PolicyState) { s.PendingSB = -2 }},
+		{"IPlus negative", func(s *PolicyState) { s.IPlus = -1 }},
+		{"Explore out of range", func(s *PolicyState) { s.Explore = append(s.Explore, 42) }},
+		{"short SlotsOn", func(s *PolicyState) { s.SlotsOn = nil }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			st := mk()
+			if err := st.Validate(); err != nil {
+				t.Fatalf("baseline state invalid: %v", err)
+			}
+			tt.mutate(st)
+			if err := st.Validate(); err == nil {
+				t.Fatal("corrupt state validated")
+			}
+			q := NewSmartEXP3("Smart EXP3", FeaturesFor(AlgSmartEXP3), []int{0, 1, 2}, DefaultConfig(), rand.New(rngutil.NewSource(6)))
+			before := q.Select()
+			if err := q.ImportState(st, rand.New(rngutil.NewSource(7))); err == nil {
+				t.Fatal("corrupt state imported")
+			}
+			// The failed import must not have touched the policy.
+			if got := q.Select(); got != before {
+				t.Fatalf("failed import perturbed the policy: %d != %d", got, before)
+			}
+		})
+	}
+}

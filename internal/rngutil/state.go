@@ -1,0 +1,38 @@
+package rngutil
+
+// SourceState is the complete generator state of a Source, in exported form
+// so it can cross serialization boundaries (gob, snapshots). Capturing and
+// restoring it resumes the stream bit-for-bit: a restored source produces
+// exactly the outputs the original would have produced next. The serve
+// layer's snapshot/restore determinism contract rests on this — per-device
+// policy randomness must survive a daemon restart unchanged.
+type SourceState struct {
+	Vec       [rngLen]int64
+	Tap, Feed int
+}
+
+// State returns a copy of the source's current generator state.
+func (s *Source) State() SourceState {
+	return SourceState{Vec: s.vec, Tap: s.tap, Feed: s.feed}
+}
+
+// SetState overwrites the source's generator state with a previously
+// captured one. The next outputs are bit-identical to what the captured
+// source would have produced. States whose cursors fall outside the
+// generator's ring are rejected by normalizing them modulo the ring length,
+// so a corrupt snapshot cannot index out of bounds.
+func (s *Source) SetState(st SourceState) {
+	s.vec = st.Vec
+	s.tap = clampCursor(st.Tap)
+	s.feed = clampCursor(st.Feed)
+}
+
+// clampCursor maps an arbitrary int into [0, rngLen), the generator ring's
+// valid cursor range.
+func clampCursor(c int) int {
+	c %= rngLen
+	if c < 0 {
+		c += rngLen
+	}
+	return c
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"smartexp3/internal/cluster"
+)
+
+// ClientOptions tunes a client connection.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment; zero means 5 seconds.
+	DialTimeout time.Duration
+	// FrameTimeout bounds each frame read and write; zero means 2
+	// minutes, negative disables (synchronous in-memory pipes in tests).
+	FrameTimeout time.Duration
+	// FeedbackBatch is the buffered-report count that triggers an eager
+	// flush; zero means 256. Feedback is also flushed before every
+	// Select, Release, Ping and Close, so the buffer never outlives the
+	// traffic that should observe it.
+	FeedbackBatch int
+}
+
+func (o ClientOptions) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return o.DialTimeout
+}
+
+func (o ClientOptions) frameTimeout() time.Duration {
+	switch {
+	case o.FrameTimeout < 0:
+		return 0
+	case o.FrameTimeout == 0:
+		return 2 * time.Minute
+	default:
+		return o.FrameTimeout
+	}
+}
+
+func (o ClientOptions) feedbackBatch() int {
+	if o.FeedbackBatch <= 0 {
+		return 256
+	}
+	return o.FeedbackBatch
+}
+
+// Client is one synchronous session against a serve daemon. It buffers
+// feedback and flushes it as one frame before anything that must observe
+// it, so the hot loop costs one round trip per Select and none per
+// Feedback. Not safe for concurrent use — one goroutine per client, the
+// same discipline as the cluster session layer.
+type Client struct {
+	conn      net.Conn
+	bw        *bufio.Writer
+	fw        *cluster.FrameWriter
+	fr        *cluster.FrameReader
+	opts      ClientOptions
+	algorithm string
+	batch     []FeedbackItem
+	seq       uint64
+	pingSeq   uint64
+	err       error // first transport error; the session is dead after one
+}
+
+// Dial connects and handshakes.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.dialTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	c, err := NewClient(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient handshakes over an established connection (tests hand it one
+// end of a pipe). The client owns conn afterwards.
+func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
+	c := &Client{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+		fr:   cluster.NewFrameReader(bufio.NewReaderSize(conn, 32<<10)),
+		opts: opts,
+	}
+	c.fw = cluster.NewFrameWriter(c.bw)
+	if err := c.send(&serveEnvelope{Hello: &serveHelloMsg{Version: serveProtocolVersion}}); err != nil {
+		return nil, err
+	}
+	var env serveEnvelope
+	if err := c.recv(&env); err != nil {
+		return nil, err
+	}
+	switch {
+	case env.HelloAck == nil:
+		return nil, errors.New("serve: handshake reply is not a hello ack")
+	case env.HelloAck.Err != "":
+		return nil, fmt.Errorf("serve: handshake rejected: %s", env.HelloAck.Err)
+	}
+	c.algorithm = env.HelloAck.Algorithm
+	return c, nil
+}
+
+// Algorithm names the algorithm the daemon serves, as reported at
+// handshake.
+func (c *Client) Algorithm() string { return c.algorithm }
+
+func (c *Client) send(env *serveEnvelope) error {
+	if c.err != nil {
+		return c.err
+	}
+	if wt := c.opts.frameTimeout(); wt > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+			return c.fail(err)
+		}
+	}
+	if err := c.fw.Encode(env); err != nil {
+		return c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+func (c *Client) recv(env *serveEnvelope) error {
+	if c.err != nil {
+		return c.err
+	}
+	if wt := c.opts.frameTimeout(); wt > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(wt)); err != nil {
+			return c.fail(err)
+		}
+	}
+	if err := c.fr.Decode(env); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// fail latches the first transport error: a framed-gob stream has no
+// resynchronization point, so the session is unusable after one.
+func (c *Client) fail(err error) error {
+	if c.err == nil {
+		c.err = fmt.Errorf("serve: session dead: %w", err)
+	}
+	return c.err
+}
+
+// Select flushes buffered feedback, then asks which arm device should use
+// next. arms must be strictly ascending. A request-level rejection (bad arm
+// set) returns an error but leaves the session usable; transport errors
+// poison the session.
+func (c *Client) Select(device uint64, arms []int) (int, error) {
+	if err := c.Flush(); err != nil {
+		return -1, err
+	}
+	c.seq++
+	if err := c.send(&serveEnvelope{Select: &selectMsg{Seq: c.seq, Device: device, Arms: arms}}); err != nil {
+		return -1, err
+	}
+	for {
+		var env serveEnvelope
+		if err := c.recv(&env); err != nil {
+			return -1, err
+		}
+		switch {
+		case env.Selected != nil:
+			if env.Selected.Seq != c.seq {
+				return -1, c.fail(fmt.Errorf("response seq %d, want %d", env.Selected.Seq, c.seq))
+			}
+			if env.Selected.Err != "" {
+				return -1, fmt.Errorf("serve: %s", env.Selected.Err)
+			}
+			return env.Selected.Arm, nil
+		case env.Pong != nil:
+			continue // late keepalive answer; the select response follows
+		default:
+			return -1, c.fail(errors.New("unexpected frame awaiting selection"))
+		}
+	}
+}
+
+// Feedback buffers one reward report; the wire sees it at the next flush
+// (at latest, before the next Select on this connection, which is what
+// makes select-after-feedback ordering hold without a round trip per
+// report).
+func (c *Client) Feedback(device uint64, arm int, reward float64) error {
+	if c.err != nil {
+		return c.err
+	}
+	c.batch = append(c.batch, FeedbackItem{Device: device, Arm: arm, Reward: reward})
+	if len(c.batch) >= c.opts.feedbackBatch() {
+		return c.Flush()
+	}
+	return nil
+}
+
+// Flush sends buffered feedback as one frame.
+func (c *Client) Flush() error {
+	if len(c.batch) == 0 {
+		return c.err
+	}
+	err := c.send(&serveEnvelope{Feedback: &feedbackBatchMsg{Items: c.batch}})
+	c.batch = c.batch[:0]
+	return err
+}
+
+// Release flushes feedback, then retires the given device sessions.
+func (c *Client) Release(devices ...uint64) error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	return c.send(&serveEnvelope{Release: &releaseMsg{Devices: devices}})
+}
+
+// Ping flushes feedback and round-trips a keepalive, proving the daemon is
+// alive and resetting its idle timer.
+func (c *Client) Ping() error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	c.pingSeq++
+	if err := c.send(&serveEnvelope{Ping: &servePingMsg{Seq: c.pingSeq}}); err != nil {
+		return err
+	}
+	var env serveEnvelope
+	if err := c.recv(&env); err != nil {
+		return err
+	}
+	if env.Pong == nil || env.Pong.Seq != c.pingSeq {
+		return c.fail(errors.New("unexpected frame awaiting pong"))
+	}
+	return nil
+}
+
+// Close flushes buffered feedback and closes the connection.
+func (c *Client) Close() error {
+	flushErr := c.Flush()
+	closeErr := c.conn.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"smartexp3/internal/cluster"
+)
+
+// ServerOptions tunes the transport, not the decisions.
+type ServerOptions struct {
+	// FrameTimeout bounds both waiting for a client frame and writing a
+	// response. A client must send something (a ping suffices) within it,
+	// and a stalled reader cannot park a connection goroutine past it.
+	// Zero means 2 minutes, mirroring the cluster layer; negative
+	// disables deadlines (tests with synchronous pipes).
+	FrameTimeout time.Duration
+}
+
+func (o ServerOptions) frameTimeout() time.Duration {
+	switch {
+	case o.FrameTimeout < 0:
+		return 0
+	case o.FrameTimeout == 0:
+		return 2 * time.Minute
+	default:
+		return o.FrameTimeout
+	}
+}
+
+// Server answers the serve wire protocol against one Store. One goroutine
+// serves each connection; all decision state lives in the Store, so
+// connections share devices safely (though one device should normally stay
+// with one client).
+type Server struct {
+	store *Store
+	opts  ServerOptions
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewServer wraps store in a wire front end.
+func NewServer(store *Store, opts ServerOptions) *Server {
+	return &Server{store: store, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes, then waits for the
+// in-flight connection goroutines it spawned to drain. It always returns a
+// non-nil error; after Close/listener close that error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.track(conn, true)
+			defer s.track(conn, false)
+			defer conn.Close()
+			_ = s.serveConn(conn)
+		}()
+	}
+}
+
+// Close tears down every live connection. Pair it with closing the
+// listener; Serve's drain then returns promptly instead of waiting out
+// frame timeouts.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// serveConn runs one connection's request loop: handshake, then frames
+// until the peer closes, errors, or goes silent past the frame timeout.
+func (s *Server) serveConn(conn net.Conn) error {
+	wt := s.opts.frameTimeout()
+	fr := cluster.NewFrameReader(bufio.NewReaderSize(conn, 32<<10))
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	fw := cluster.NewFrameWriter(bw)
+	send := func(env *serveEnvelope) error {
+		if wt > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+				return err
+			}
+		}
+		if err := fw.Encode(env); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	recv := func(env *serveEnvelope) error {
+		if wt > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(wt)); err != nil {
+				return err
+			}
+		}
+		return fr.Decode(env)
+	}
+
+	var env serveEnvelope
+	if err := recv(&env); err != nil {
+		return err
+	}
+	if env.Hello == nil {
+		return fmt.Errorf("serve: first frame is not a hello")
+	}
+	if env.Hello.Version != serveProtocolVersion {
+		_ = send(&serveEnvelope{HelloAck: &serveHelloAckMsg{
+			Version: serveProtocolVersion,
+			Err:     fmt.Sprintf("protocol version %d, want %d", env.Hello.Version, serveProtocolVersion),
+		}})
+		return fmt.Errorf("serve: client speaks protocol %d, want %d", env.Hello.Version, serveProtocolVersion)
+	}
+	if err := send(&serveEnvelope{HelloAck: &serveHelloAckMsg{
+		Version:   serveProtocolVersion,
+		Algorithm: s.store.cfg.Algorithm.String(),
+	}}); err != nil {
+		return err
+	}
+
+	for {
+		env = serveEnvelope{}
+		if err := recv(&env); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // clean close between frames
+			}
+			return err
+		}
+		switch {
+		case env.Select != nil:
+			req := env.Select
+			arm, err := s.store.Select(req.Device, req.Arms)
+			resp := &selectedMsg{Seq: req.Seq, Arm: arm}
+			if err != nil {
+				resp.Err = err.Error()
+			}
+			if err := send(&serveEnvelope{Selected: resp}); err != nil {
+				return err
+			}
+		case env.Feedback != nil:
+			s.store.ApplyBatch(env.Feedback.Items)
+		case env.Release != nil:
+			for _, id := range env.Release.Devices {
+				s.store.Release(id)
+			}
+		case env.Ping != nil:
+			if err := send(&serveEnvelope{Pong: &servePongMsg{Seq: env.Ping.Seq}}); err != nil {
+				return err
+			}
+		case env.Pong != nil, env.Hello != nil, env.HelloAck != nil, env.Selected != nil:
+			return fmt.Errorf("serve: unexpected frame from client")
+		default:
+			return fmt.Errorf("serve: empty frame")
+		}
+	}
+}

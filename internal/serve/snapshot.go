@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/rngutil"
+)
+
+// snapshotVersion is bumped whenever the snapshot layout changes
+// incompatibly; Restore refuses mismatches loudly.
+const snapshotVersion = 1
+
+// deviceSnapshot is one active device session at rest: its policy state
+// verbatim (core.PolicyState preserves every derived view bit for bit, see
+// that type's doc) plus its generator cursor and the unanswered selection.
+type deviceSnapshot struct {
+	Device  uint64
+	Pending int
+	Rng     rngutil.SourceState
+	State   core.PolicyState
+}
+
+// Snapshot is a Store's portable state. Devices are sorted by id, so the
+// encoded bytes are a deterministic function of the store's logical state —
+// independent of shard count, map iteration order, or which shard was
+// visited first.
+type Snapshot struct {
+	Version   int
+	Algorithm core.Algorithm
+	Seed      int64
+	Dropped   uint64
+	Devices   []deviceSnapshot
+}
+
+// Snapshot captures every active device session. Shards are locked one at a
+// time, so service continues on the others while a shard is being copied;
+// each device is captured atomically, the set of devices is whatever the
+// moment offers (quiesce the store first when a globally consistent cut is
+// required, as the daemon's shutdown path does by closing the listener).
+func (s *Store) Snapshot() *Snapshot {
+	sn := &Snapshot{
+		Version:   snapshotVersion,
+		Algorithm: s.cfg.Algorithm,
+		Seed:      s.cfg.Seed,
+		Dropped:   s.dropped.Load(),
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for id, dev := range sh.devices {
+			ds := deviceSnapshot{Device: id, Pending: dev.pending, Rng: dev.src.State()}
+			dev.policy.ExportState(&ds.State)
+			sn.Devices = append(sn.Devices, ds)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(sn.Devices, func(i, j int) bool { return sn.Devices[i].Device < sn.Devices[j].Device })
+	return sn
+}
+
+// Encode writes the snapshot as a gob stream.
+func (sn *Snapshot) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(sn); err != nil {
+		return fmt.Errorf("serve: encode snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes a snapshot and validates its header and every
+// device record, so a corrupt file fails here rather than half-applying in
+// Restore.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var sn Snapshot
+	if err := gob.NewDecoder(r).Decode(&sn); err != nil {
+		return nil, fmt.Errorf("serve: decode snapshot: %w", err)
+	}
+	if sn.Version != snapshotVersion {
+		return nil, fmt.Errorf("serve: snapshot version %d, want %d", sn.Version, snapshotVersion)
+	}
+	for i := range sn.Devices {
+		ds := &sn.Devices[i]
+		if err := ds.State.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
+		}
+		if i > 0 && sn.Devices[i-1].Device >= ds.Device {
+			return nil, fmt.Errorf("serve: snapshot devices not strictly ascending at %d", ds.Device)
+		}
+	}
+	return &sn, nil
+}
+
+// Restore replaces the store's device sessions with the snapshot's. The
+// snapshot must come from a store with the same algorithm and seed — those
+// are part of the determinism contract, not per-device state. Existing
+// sessions are retired to the pools; restored sessions resume bit-identical
+// to never having stopped.
+func (s *Store) Restore(sn *Snapshot) error {
+	if sn.Version != snapshotVersion {
+		return fmt.Errorf("serve: snapshot version %d, want %d", sn.Version, snapshotVersion)
+	}
+	if sn.Algorithm != s.cfg.Algorithm {
+		return fmt.Errorf("serve: snapshot is %v state, store serves %v", sn.Algorithm, s.cfg.Algorithm)
+	}
+	if sn.Seed != s.cfg.Seed {
+		return fmt.Errorf("serve: snapshot seed %d, store seed %d", sn.Seed, s.cfg.Seed)
+	}
+	// Build every restored session before touching live state, so a corrupt
+	// record cannot leave the store half-replaced.
+	restored := make([]*device, len(sn.Devices))
+	for i := range sn.Devices {
+		ds := &sn.Devices[i]
+		if err := ds.State.Validate(); err != nil {
+			return fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
+		}
+		src := rngutil.NewSource(0)
+		rng := rand.New(src)
+		pol, err := core.New(s.cfg.Algorithm, ds.State.Available, s.cfg.Policy, rng)
+		// The generator cursor is restored after construction so any draw
+		// the constructor makes cannot advance the resumed stream.
+		src.SetState(ds.Rng)
+		if err != nil {
+			return fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
+		}
+		sp, ok := pol.(*core.SmartEXP3)
+		if !ok {
+			return fmt.Errorf("serve: %v has no exportable policy state", s.cfg.Algorithm)
+		}
+		if err := sp.ImportState(&ds.State, rng); err != nil {
+			return fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
+		}
+		restored[i] = &device{policy: sp, src: src, rng: rng, pending: ds.Pending}
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for id, dev := range sh.devices {
+			delete(sh.devices, id)
+			sh.free = append(sh.free, dev)
+			s.devices.Add(-1)
+		}
+		sh.mu.Unlock()
+	}
+	for i := range sn.Devices {
+		id := sn.Devices[i].Device
+		sh := &s.shards[s.shardIndex(id)]
+		sh.mu.Lock()
+		sh.devices[id] = restored[i]
+		sh.mu.Unlock()
+		s.devices.Add(1)
+	}
+	s.dropped.Store(sn.Dropped)
+	return nil
+}
+
+// SaveFile snapshots the store to path atomically: the bytes land in a
+// temporary file in the same directory and are renamed over the target, so
+// a crash mid-write leaves the previous snapshot intact.
+func (s *Store) SaveFile(path string) error {
+	sn := s.Snapshot()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: save snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if err := sn.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: save snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: save snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores the store from a snapshot file written by SaveFile.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("serve: load snapshot: %w", err)
+	}
+	defer f.Close()
+	sn, err := ReadSnapshot(f)
+	if err != nil {
+		return err
+	}
+	return s.Restore(sn)
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// script is a deterministic request sequence with availability churn and a
+// deliberately unanswered selection, exercising every snapshot-relevant
+// store path. It returns all selections made.
+func runScript(t *testing.T, s *Store, from, to int) []int {
+	t.Helper()
+	devices := []uint64{3, 8, 1 << 33}
+	armSets := [][]int{
+		{1, 2, 3, 4},
+		{2, 3, 4},
+		{1, 2, 3, 4, 9},
+	}
+	var out []int
+	for slot := from; slot < to; slot++ {
+		for _, dev := range devices {
+			arms := armSets[(slot/40+int(dev))%len(armSets)]
+			arm, err := s.Select(dev, arms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, arm)
+			// Device 8 loses every 50th report: a pending selection
+			// crosses the snapshot boundary and must survive it.
+			if dev == 8 && slot%50 == 49 {
+				continue
+			}
+			s.Feedback(dev, arm, reward(dev, arm, slot))
+		}
+		if slot == 90 {
+			s.Release(8) // churn: device 8 re-joins from its root seed
+		}
+	}
+	return out
+}
+
+func encodeSnapshot(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Snapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRestoreIsByteIdentical is the satellite's property test: run
+// a seeded script, snapshot mid-way, restore into a fresh store, replay the
+// remainder — every subsequent draw and the final snapshot bytes must be
+// byte-identical to the uninterrupted run.
+func TestSnapshotRestoreIsByteIdentical(t *testing.T) {
+	// cut lands right after slot 149, where device 8's feedback was lost:
+	// an unanswered selection crosses the snapshot boundary.
+	const cut, end = 150, 280
+
+	uninterrupted := newTestStore(t, Config{})
+	runScript(t, uninterrupted, 0, cut)
+	interrupted := newTestStore(t, Config{})
+	runScript(t, interrupted, 0, cut)
+
+	mid := encodeSnapshot(t, interrupted)
+	sn, err := ReadSnapshot(bytes.NewReader(mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Restart": a brand-new store, different shard count on the new box.
+	restored := newTestStore(t, Config{Shards: 16})
+	if err := restored.Restore(sn); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Devices() != uninterrupted.Devices() {
+		t.Fatalf("restored store tracks %d devices, want %d", restored.Devices(), uninterrupted.Devices())
+	}
+
+	wantTail := runScript(t, uninterrupted, cut, end)
+	gotTail := runScript(t, restored, cut, end)
+	for i := range wantTail {
+		if wantTail[i] != gotTail[i] {
+			t.Fatalf("post-restore selection %d: restored store chose %d, uninterrupted chose %d", i, gotTail[i], wantTail[i])
+		}
+	}
+
+	finalWant := encodeSnapshot(t, uninterrupted)
+	finalGot := encodeSnapshot(t, restored)
+	if !bytes.Equal(finalWant, finalGot) {
+		t.Fatalf("final snapshots differ: %d vs %d bytes — restore is not lossless", len(finalWant), len(finalGot))
+	}
+	// And the mid-run snapshot itself is deterministic: a second identical
+	// run encodes the same bytes.
+	again := newTestStore(t, Config{Shards: 2})
+	runScript(t, again, 0, cut)
+	if !bytes.Equal(mid, encodeSnapshot(t, again)) {
+		t.Fatal("two identical histories encoded different snapshot bytes")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+
+	s := newTestStore(t, Config{})
+	runScript(t, s, 0, 80)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	want := runScript(t, s, 80, 120)
+
+	restored := newTestStore(t, Config{})
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got := runScript(t, restored, 80, 120)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("selection %d after file restore: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRestoreRejectsMismatchedIdentity(t *testing.T) {
+	s := newTestStore(t, Config{Seed: 42})
+	runScript(t, s, 0, 10)
+	sn := s.Snapshot()
+
+	wrongSeed := newTestStore(t, Config{Seed: 43})
+	if err := wrongSeed.Restore(sn); err == nil {
+		t.Fatal("restore accepted a snapshot from a different seed")
+	}
+	badVersion := *sn
+	badVersion.Version = snapshotVersion + 1
+	if err := s.Restore(&badVersion); err == nil {
+		t.Fatal("restore accepted a future snapshot version")
+	}
+
+	// A corrupt device record must fail ReadSnapshot before Restore can
+	// half-apply it.
+	corrupt := *sn
+	corrupt.Devices = append([]deviceSnapshot(nil), sn.Devices...)
+	corrupt.Devices[0].State.Cur = 99
+	var buf bytes.Buffer
+	if err := corrupt.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(&buf); err == nil {
+		t.Fatal("ReadSnapshot accepted a corrupt device record")
+	}
+}

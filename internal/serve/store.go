@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/rngutil"
+)
+
+// Config fixes a Store's identity. Two stores with equal Configs fed the
+// same request sequence produce identical decisions — that is the unit the
+// snapshot format protects (a snapshot only restores into a matching
+// Config).
+type Config struct {
+	// Algorithm must be one of the adversarial-bandit family served by
+	// core.SmartEXP3 (EXP3, Block EXP3, Hybrid Block EXP3, Smart EXP3
+	// with or without reset): those are the policies whose state is
+	// exportable for snapshots. Zero means core.AlgSmartEXP3.
+	Algorithm core.Algorithm
+	// Policy holds the algorithm parameters. The zero value means
+	// core.DefaultConfig(), the paper's Section V values.
+	Policy core.Config
+	// Seed roots every device's generator: device d draws from
+	// rngutil.ChildSeed(Seed, int64(d)).
+	Seed int64
+	// Shards is the device-map shard count, rounded up to a power of two.
+	// Zero scales with GOMAXPROCS (4× cores) so shard mutexes stay
+	// uncontended under parallel load.
+	Shards int
+	// MaxArms bounds a request's arm set (wire-level hostility guard).
+	// Zero means 1024.
+	MaxArms int
+}
+
+const defaultMaxArms = 1024
+
+// withDefaults resolves the zero values. Idempotent, so both NewStore and
+// the daemon's flag plumbing may call it.
+func (c Config) withDefaults() Config {
+	if c.Algorithm == 0 {
+		c.Algorithm = core.AlgSmartEXP3
+	}
+	if c.Policy.Beta == 0 { // β ∈ (0,1], so 0 marks an unset Config
+		c.Policy = core.DefaultConfig()
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4 * runtime.GOMAXPROCS(0)
+	}
+	pow2 := 1
+	for pow2 < c.Shards {
+		pow2 <<= 1
+	}
+	c.Shards = pow2 // power of two so shard routing is a mask, not a modulo
+	if c.MaxArms <= 0 {
+		c.MaxArms = defaultMaxArms
+	}
+	return c
+}
+
+// shard is one lock domain of the device map. The free list pools retired
+// devices: their policies are Reinitialized in place on the next acquire,
+// so a device joining after another left allocates nothing.
+type shard struct {
+	mu      sync.Mutex
+	devices map[uint64]*device
+	free    []*device
+}
+
+// Store holds the per-device policy state behind the service. All methods
+// are safe for concurrent use; each locks only the shards it touches.
+type Store struct {
+	cfg     Config
+	shards  []shard
+	mask    uint64
+	devices atomic.Int64  // active device sessions
+	dropped atomic.Uint64 // feedback/slots discarded for not matching a pending selection
+}
+
+// NewStore builds an empty store. The algorithm is validated eagerly — a
+// daemon must refuse to boot as a policy it cannot snapshot, not discover it
+// on the first request.
+func NewStore(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	probe, err := core.New(cfg.Algorithm, []int{0}, cfg.Policy, rngutil.New(0))
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if _, ok := probe.(*core.SmartEXP3); !ok {
+		return nil, fmt.Errorf("serve: %v has no exportable policy state; serve the EXP3 family", cfg.Algorithm)
+	}
+	s := &Store{cfg: cfg, shards: make([]shard, cfg.Shards), mask: uint64(cfg.Shards - 1)}
+	for i := range s.shards {
+		s.shards[i].devices = make(map[uint64]*device)
+	}
+	return s, nil
+}
+
+// Config returns the resolved configuration the store was built with.
+func (s *Store) Config() Config { return s.cfg }
+
+// Devices returns the number of active device sessions.
+func (s *Store) Devices() int { return int(s.devices.Load()) }
+
+// Dropped returns how many feedback reports and abandoned selections were
+// discarded for not matching an outstanding Select. A nonzero rate means
+// clients are retrying across availability changes or reporting stale arms.
+func (s *Store) Dropped() uint64 { return s.dropped.Load() }
+
+func (s *Store) shardIndex(deviceID uint64) uint64 { return mix64(deviceID) & s.mask }
+
+// Select answers "which arm now?" for one device. arms must be non-empty,
+// strictly ascending and within the configured MaxArms. A new device id
+// creates a session (pooled when possible); a repeated Select with the same
+// arms and no intervening Feedback returns the same arm idempotently.
+func (s *Store) Select(deviceID uint64, arms []int) (int, error) {
+	if len(arms) == 0 {
+		return -1, fmt.Errorf("serve: device %d: empty arm set", deviceID)
+	}
+	if len(arms) > s.cfg.MaxArms {
+		return -1, fmt.Errorf("serve: device %d: %d arms exceeds the %d limit", deviceID, len(arms), s.cfg.MaxArms)
+	}
+	if !ascendingArms(arms) {
+		return -1, fmt.Errorf("serve: device %d: arms must be strictly ascending", deviceID)
+	}
+	sh := &s.shards[s.shardIndex(deviceID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	dev := sh.devices[deviceID]
+	if dev == nil {
+		var err error
+		if dev, err = s.acquire(sh, deviceID, arms); err != nil {
+			return -1, err
+		}
+		sh.devices[deviceID] = dev
+		s.devices.Add(1)
+	}
+	if dev.pending >= 0 {
+		if equalArms(dev.policy.Available(), arms) {
+			return dev.pending, nil // lost-response retry: same slot, same arm
+		}
+		// The arm set moved under an unanswered selection. Settle the
+		// outstanding slot as zero gain so Select/Observe stay paired,
+		// then fall through to a fresh selection over the new set.
+		dev.policy.Observe(0)
+		dev.pending = -1
+		s.dropped.Add(1)
+	}
+	if !equalArms(dev.policy.Available(), arms) {
+		dev.policy.SetAvailable(arms)
+	}
+	arm := dev.policy.Select()
+	dev.pending = arm
+	return arm, nil
+}
+
+// acquire produces a device session for deviceID, reusing a pooled one when
+// the shard has retirees. Caller holds sh.mu.
+func (s *Store) acquire(sh *shard, deviceID uint64, arms []int) (*device, error) {
+	seed := rngutil.ChildSeed(s.cfg.Seed, int64(deviceID))
+	if n := len(sh.free); n > 0 {
+		dev := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		dev.src.Seed(seed)
+		dev.policy.Reinit(arms, dev.rng)
+		dev.pending = -1
+		return dev, nil
+	}
+	src := rngutil.NewSource(seed)
+	rng := rand.New(src)
+	pol, err := core.New(s.cfg.Algorithm, arms, s.cfg.Policy, rng)
+	if err != nil {
+		return nil, fmt.Errorf("serve: device %d: %w", deviceID, err)
+	}
+	sp, ok := pol.(*core.SmartEXP3)
+	if !ok { // NewStore guards this; defend against config mutation anyway
+		return nil, fmt.Errorf("serve: %v has no exportable policy state", s.cfg.Algorithm)
+	}
+	return &device{policy: sp, src: src, rng: rng, pending: -1}, nil
+}
+
+// Feedback reports the reward of the outstanding selection for deviceID.
+// It returns true when the report was applied; a report for an unknown
+// device or a non-pending arm is counted in Dropped and ignored, so
+// duplicated or reordered feedback cannot double-count a slot.
+func (s *Store) Feedback(deviceID uint64, arm int, reward float64) bool {
+	sh := &s.shards[s.shardIndex(deviceID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.feedbackLocked(sh, deviceID, arm, reward)
+}
+
+func (s *Store) feedbackLocked(sh *shard, deviceID uint64, arm int, reward float64) bool {
+	dev := sh.devices[deviceID]
+	if dev == nil || dev.pending != arm {
+		s.dropped.Add(1)
+		return false
+	}
+	dev.policy.Observe(reward) // core clamps to [0,1]
+	dev.pending = -1
+	return true
+}
+
+// FeedbackItem is one buffered reward report.
+type FeedbackItem struct {
+	Device uint64
+	Arm    int
+	Reward float64
+}
+
+// ApplyBatch applies a feedback batch, locking each shard at most once
+// regardless of how the batch interleaves devices; it returns how many
+// items were applied. This is the server's path for the client's buffered
+// fire-and-forget feedback frames.
+func (s *Store) ApplyBatch(items []FeedbackItem) int {
+	applied, remaining := 0, len(items)
+	for si := range s.shards {
+		if remaining == 0 {
+			break
+		}
+		sh := &s.shards[si]
+		locked := false
+		for i := range items {
+			it := &items[i]
+			if s.shardIndex(it.Device) != uint64(si) {
+				continue
+			}
+			if !locked {
+				sh.mu.Lock()
+				locked = true
+			}
+			if s.feedbackLocked(sh, it.Device, it.Arm, it.Reward) {
+				applied++
+			}
+			remaining--
+		}
+		if locked {
+			sh.mu.Unlock()
+		}
+	}
+	return applied
+}
+
+// Release retires a device session, returning its policy state to the
+// shard's pool. A later Select for the same id starts a fresh session from
+// the device's root seed (release-then-return is part of the request
+// history, so replays still agree). Releasing an unknown id is a no-op.
+func (s *Store) Release(deviceID uint64) bool {
+	sh := &s.shards[s.shardIndex(deviceID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	dev := sh.devices[deviceID]
+	if dev == nil {
+		return false
+	}
+	delete(sh.devices, deviceID)
+	sh.free = append(sh.free, dev)
+	s.devices.Add(-1)
+	return true
+}

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"smartexp3/internal/core"
+)
+
+// reward is the tests' deterministic environment: a fixed arm-quality
+// ordering perturbed per device and slot, so different devices learn
+// different favorites and scripts are reproducible.
+func reward(device uint64, arm, slot int) float64 {
+	x := mix64(device ^ uint64(arm)*0x9e37 ^ uint64(slot)*0x85eb)
+	base := float64(arm%5+1) / 6
+	noise := float64(x%1000) / 10000
+	r := base + noise
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+func newTestStore(t testing.TB, cfg Config) *Store {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	s, err := NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// drive runs a fixed select/feedback script and returns every arm chosen.
+func drive(t testing.TB, s *Store, devices []uint64, arms []int, slots int) []int {
+	t.Helper()
+	var out []int
+	for slot := 0; slot < slots; slot++ {
+		for _, dev := range devices {
+			arm, err := s.Select(dev, arms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.Feedback(dev, arm, reward(dev, arm, slot)) {
+				t.Fatalf("slot %d device %d: feedback for pending arm %d not applied", slot, dev, arm)
+			}
+			out = append(out, arm)
+		}
+	}
+	return out
+}
+
+func TestStoreSelectFeedbackRoundTrips(t *testing.T) {
+	s := newTestStore(t, Config{})
+	devices := []uint64{1, 2, 3}
+	arms := []int{10, 20, 30}
+	got := drive(t, s, devices, arms, 200)
+	if len(got) != 600 {
+		t.Fatalf("drove %d selections, want 600", len(got))
+	}
+	for i, arm := range got {
+		if arm != 10 && arm != 20 && arm != 30 {
+			t.Fatalf("selection %d returned arm %d outside the arm set", i, arm)
+		}
+	}
+	if n := s.Devices(); n != 3 {
+		t.Fatalf("store tracks %d devices, want 3", n)
+	}
+	if d := s.Dropped(); d != 0 {
+		t.Fatalf("clean script dropped %d reports", d)
+	}
+}
+
+// TestStoreDeterministicAcrossShardCounts pins the sharding invariant:
+// shard count is a concurrency knob, never a behavior knob. The same script
+// against 1 shard and 64 shards must select identically.
+func TestStoreDeterministicAcrossShardCounts(t *testing.T) {
+	devices := []uint64{7, 1 << 40, 99999, 3}
+	arms := []int{0, 1, 2, 5}
+	a := drive(t, newTestStore(t, Config{Shards: 1}), devices, arms, 150)
+	b := drive(t, newTestStore(t, Config{Shards: 64}), devices, arms, 150)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection %d: 1-shard store chose %d, 64-shard store chose %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStoreDevicesAreIndependentStreams pins the child-seed contract:
+// adding traffic for new devices must not perturb an existing device's
+// decision stream.
+func TestStoreDevicesAreIndependentStreams(t *testing.T) {
+	arms := []int{1, 2, 3}
+	alone := drive(t, newTestStore(t, Config{}), []uint64{5}, arms, 120)
+	crowded := newTestStore(t, Config{})
+	var got []int
+	for slot := 0; slot < 120; slot++ {
+		for _, dev := range []uint64{11, 5, 23} {
+			arm, err := crowded.Select(dev, arms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crowded.Feedback(dev, arm, reward(dev, arm, slot))
+			if dev == 5 {
+				got = append(got, arm)
+			}
+		}
+	}
+	for i := range alone {
+		if alone[i] != got[i] {
+			t.Fatalf("slot %d: device 5 chose %d alone but %d in a crowd", i, alone[i], got[i])
+		}
+	}
+}
+
+func TestStoreSelectIsIdempotentUntilFeedback(t *testing.T) {
+	s := newTestStore(t, Config{})
+	arms := []int{1, 2, 3}
+	first, err := s.Select(9, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := s.Select(9, arms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("retry %d re-selected %d, want the pending arm %d", i, again, first)
+		}
+	}
+	if d := s.Dropped(); d != 0 {
+		t.Fatalf("idempotent retries counted as %d drops", d)
+	}
+	if !s.Feedback(9, first, 0.5) {
+		t.Fatal("feedback for the pending arm was not applied")
+	}
+	if s.Feedback(9, first, 0.5) {
+		t.Fatal("duplicate feedback was applied twice")
+	}
+	if d := s.Dropped(); d != 1 {
+		t.Fatalf("duplicate feedback counted as %d drops, want 1", d)
+	}
+}
+
+func TestStoreSelectSettlesAbandonedSlotOnArmChange(t *testing.T) {
+	s := newTestStore(t, Config{})
+	if _, err := s.Select(4, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// No feedback arrives; the device moves and the arm set changes.
+	arm, err := s.Select(4, []int{2, 3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arm != 2 && arm != 3 && arm != 7 {
+		t.Fatalf("re-selection returned arm %d outside the new arm set", arm)
+	}
+	if d := s.Dropped(); d != 1 {
+		t.Fatalf("abandoned slot counted as %d drops, want 1", d)
+	}
+	if !s.Feedback(4, arm, 0.9) {
+		t.Fatal("feedback after the arm change was not applied")
+	}
+}
+
+func TestStoreValidatesRequests(t *testing.T) {
+	s := newTestStore(t, Config{MaxArms: 4})
+	cases := []struct {
+		name string
+		arms []int
+		want string
+	}{
+		{"empty", nil, "empty arm set"},
+		{"descending", []int{3, 1}, "strictly ascending"},
+		{"duplicate", []int{1, 1, 2}, "strictly ascending"},
+		{"too many", []int{1, 2, 3, 4, 5}, "exceeds"},
+	}
+	for _, tc := range cases {
+		if _, err := s.Select(1, tc.arms); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: got error %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	if n := s.Devices(); n != 0 {
+		t.Fatalf("rejected requests created %d device sessions", n)
+	}
+	if _, err := NewStore(Config{Algorithm: core.AlgGreedy}); err == nil {
+		t.Fatal("NewStore accepted an algorithm without exportable state")
+	}
+}
+
+func TestStoreReleasePoolsAndReseeds(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 1})
+	arms := []int{1, 2, 3}
+	first := drive(t, s, []uint64{77}, arms, 50)
+	if !s.Release(77) {
+		t.Fatal("release of an active device returned false")
+	}
+	if s.Release(77) {
+		t.Fatal("double release returned true")
+	}
+	if n := s.Devices(); n != 0 {
+		t.Fatalf("store tracks %d devices after release", n)
+	}
+	// The same id re-joins: the pooled policy must restart from the
+	// device's root seed, exactly as the first session did.
+	second := drive(t, s, []uint64{77}, arms, 50)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("slot %d: fresh session chose %d, pooled re-acquire chose %d", i, first[i], second[i])
+		}
+	}
+}
+
+func TestStoreApplyBatchLocksEachShardOnce(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 4})
+	devices := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	arms := []int{1, 2}
+	items := make([]FeedbackItem, 0, len(devices))
+	for _, dev := range devices {
+		arm, err := s.Select(dev, arms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, FeedbackItem{Device: dev, Arm: arm, Reward: 0.5})
+	}
+	// One report for a device that never selected: it must be counted
+	// dropped, not applied.
+	items = append(items, FeedbackItem{Device: 999, Arm: 1, Reward: 0.5})
+	if applied := s.ApplyBatch(items); applied != len(devices) {
+		t.Fatalf("batch applied %d items, want %d", applied, len(devices))
+	}
+	if d := s.Dropped(); d != 1 {
+		t.Fatalf("batch counted %d drops, want 1", d)
+	}
+}
+
+// TestStoreWarmSelectDoesNotAllocate is the tentpole's perf contract: after
+// a device's first slot, the Select/Feedback hot path performs no heap
+// allocation (the benchmark gate in BENCH_runner.json enforces the same
+// bound over time).
+func TestStoreWarmSelectDoesNotAllocate(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 2})
+	arms := []int{1, 2, 3, 4}
+	drive(t, s, []uint64{6}, arms, 300) // warm: past explore-first and pool growth
+	slot := 1000
+	allocs := testing.AllocsPerRun(200, func() {
+		arm, err := s.Select(6, arms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Feedback(6, arm, reward(6, arm, slot))
+		slot++
+	})
+	if allocs > 1 {
+		t.Fatalf("warm Select+Feedback allocates %.1f times per op, want ≤ 1", allocs)
+	}
+}
+
+// TestStoreChurnIsAllocationFreeWarm pins the Reinitializer pooling: once a
+// shard's pool has a retiree, a join-leave cycle allocates nothing.
+func TestStoreChurnIsAllocationFreeWarm(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 1})
+	arms := []int{1, 2, 3}
+	// Prime the pool with one retiree.
+	if _, err := s.Select(1, arms); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		arm, err := s.Select(2, arms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Feedback(2, arm, 0.5)
+		s.Release(2)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm churn allocates %.1f times per join-leave cycle, want 0", allocs)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Algorithm != core.AlgSmartEXP3 {
+		t.Fatalf("default algorithm %v, want Smart EXP3", cfg.Algorithm)
+	}
+	if cfg.Shards <= 0 || cfg.Shards&(cfg.Shards-1) != 0 {
+		t.Fatalf("default shard count %d is not a positive power of two", cfg.Shards)
+	}
+	if got := (Config{Shards: 5}).withDefaults().Shards; got != 8 {
+		t.Fatalf("Shards 5 rounds to %d, want 8", got)
+	}
+	if cfg.MaxArms != defaultMaxArms {
+		t.Fatalf("default MaxArms %d, want %d", cfg.MaxArms, defaultMaxArms)
+	}
+	if cfg.Policy.Beta != core.DefaultConfig().Beta {
+		t.Fatalf("zero Policy did not resolve to DefaultConfig")
+	}
+}

@@ -1,0 +1,77 @@
+package serve
+
+// The serve wire protocol rides internal/cluster's frame codec (4-byte
+// big-endian length prefix, one persistent gob codec per connection
+// direction) with its own envelope union. One synchronous client drives one
+// connection: selects are request/response, feedback is fire-and-forget in
+// batches, and the single stream's ordering makes every Select a natural
+// barrier for the feedback sent before it.
+
+// serveProtocolVersion is bumped whenever the serve message set changes
+// incompatibly. Handshake refuses mismatches.
+const serveProtocolVersion = 1
+
+// serveEnvelope is the one-of union every serve frame carries.
+type serveEnvelope struct {
+	Hello    *serveHelloMsg
+	HelloAck *serveHelloAckMsg
+	Select   *selectMsg
+	Selected *selectedMsg
+	Feedback *feedbackBatchMsg
+	Release  *releaseMsg
+	Ping     *servePingMsg
+	Pong     *servePongMsg
+}
+
+// serveHelloMsg opens a client session.
+type serveHelloMsg struct {
+	Version int
+}
+
+// serveHelloAckMsg accepts or rejects the session and names the algorithm
+// the daemon serves, so a client pointed at the wrong daemon fails loudly
+// at dial time.
+type serveHelloAckMsg struct {
+	Version   int
+	Algorithm string
+	Err       string
+}
+
+// selectMsg asks which arm device Device should use next, given its
+// currently reachable arm set (strictly ascending global ids).
+type selectMsg struct {
+	Seq    uint64
+	Device uint64
+	Arms   []int
+}
+
+// selectedMsg answers a selectMsg. A non-empty Err is a property of the
+// request (bad arm set), not the connection: the session continues.
+type selectedMsg struct {
+	Seq uint64
+	Arm int
+	Err string
+}
+
+// feedbackBatchMsg carries buffered reward reports. There is no reply —
+// misdirected reports are counted, not bounced — which is what lets a
+// client stream feedback at line rate between selects.
+type feedbackBatchMsg struct {
+	Items []FeedbackItem
+}
+
+// releaseMsg retires device sessions whose devices have left.
+type releaseMsg struct {
+	Devices []uint64
+}
+
+// servePingMsg keeps an idle connection alive under the server's frame
+// timeout, mirroring the cluster session keepalive.
+type servePingMsg struct {
+	Seq uint64
+}
+
+// servePongMsg answers a ping.
+type servePongMsg struct {
+	Seq uint64
+}

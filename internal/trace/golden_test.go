@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGenerateGoldenCSV pins the generated paper pairs byte for byte, in
+// their on-disk CSV form: one golden file per style. Regenerate with
+// `go test ./internal/trace -run Golden -update` and review the diff — a
+// changed file means the trace generator's random stream or the CSV layout
+// moved, which silently re-dates every Table VI number.
+func TestGenerateGoldenCSV(t *testing.T) {
+	for _, tc := range []struct {
+		style Style
+		seed  int64
+	}{
+		{StyleAlternating, 1},
+		{StyleCellularDominant, 1},
+		{StyleCrossover, 3},
+		{StyleBothVolatile, 2},
+	} {
+		t.Run(tc.style.String(), func(t *testing.T) {
+			p := Generate(tc.style, 40, tc.seed)
+			var buf bytes.Buffer
+			if err := WriteCSV(&buf, p); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata",
+				fmt.Sprintf("golden_%s_seed%d.csv", sanitize(tc.style.String()), tc.seed))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatalf("generated CSV for %v seed %d differs from %s — generator stream or CSV layout changed",
+					tc.style, tc.seed, path)
+			}
+			// The golden file must survive its own reader: a layout change
+			// that breaks ReadCSV would otherwise hide behind -update.
+			got, err := ReadCSV(bytes.NewReader(want), p.Name, 15)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Slots() != p.Slots() {
+				t.Fatalf("golden file reads back %d slots, want %d", got.Slots(), p.Slots())
+			}
+		})
+	}
+}
+
+// sanitize maps a style's display name to a file-name-safe slug.
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r == ' ' || r == '-':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,125 @@
+package wild
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartexp3/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestRunGolden pins the in-the-wild emulation end to end: a table of
+// configurations spanning the policies, file sizes and seeds, with every
+// result field recorded in one golden file. Any drift in the environment
+// model, the background-load walk, the delay sampling or the policy
+// integration shows up as a diff here before it silently re-dates the
+// Section VII-B comparison. Regenerate with
+// `go test ./internal/wild -run Golden -update` and review the diff.
+func TestRunGolden(t *testing.T) {
+	cases := []Config{
+		{FileMB: 50, Algorithm: core.AlgSmartEXP3, Seed: 1},
+		{FileMB: 50, Algorithm: core.AlgSmartEXP3, Seed: 2},
+		{FileMB: 50, Algorithm: core.AlgGreedy, Seed: 1},
+		{FileMB: 50, Algorithm: core.AlgEXP3, Seed: 1},
+		{FileMB: 50, Algorithm: core.AlgFixedRandom, Seed: 1},
+		{FileMB: 200, Algorithm: core.AlgSmartEXP3, Seed: 3},
+		{FileMB: 10, Algorithm: core.AlgGreedy, Seed: 4, SlotSeconds: 30},
+	}
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, "algorithm,file_mb,seed,slot_s,minutes,slots,switches,completed")
+	for _, cfg := range cases {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		slotSec := cfg.SlotSeconds
+		if slotSec == 0 {
+			slotSec = 15
+		}
+		fmt.Fprintf(&buf, "%v,%g,%d,%g,%.6f,%d,%d,%v\n",
+			cfg.Algorithm, cfg.FileMB, cfg.Seed, slotSec,
+			res.Minutes, res.Slots, res.Switches, res.Completed)
+	}
+	path := filepath.Join("testdata", "golden_runs.csv")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatalf("wild run results drifted from %s:\nwant:\n%sgot:\n%s", path, want, buf.Bytes())
+	}
+}
+
+// TestRunTable is the table-driven sweep of the config surface: every
+// EXP3-family policy and the baselines complete a small download, and the
+// obvious invariants hold for each.
+func TestRunTable(t *testing.T) {
+	algs := []core.Algorithm{
+		core.AlgEXP3, core.AlgBlockEXP3, core.AlgHybridBlockEXP3,
+		core.AlgSmartEXP3NoReset, core.AlgSmartEXP3,
+		core.AlgGreedy, core.AlgFixedRandom,
+	}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			res, err := Run(Config{FileMB: 30, Algorithm: alg, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Completed {
+				t.Fatalf("%v did not complete a 30 MB download", alg)
+			}
+			if res.Minutes <= 0 || res.Slots <= 0 {
+				t.Fatalf("degenerate result %+v", res)
+			}
+			if res.Switches < 0 || res.Switches >= res.Slots {
+				t.Fatalf("switch count %d out of range for %d slots", res.Switches, res.Slots)
+			}
+			maxMinutes := float64(res.Slots) * 15 / 60
+			if res.Minutes > maxMinutes+1e-9 {
+				t.Fatalf("minutes %v exceed the %d slots that produced them", res.Minutes, res.Slots)
+			}
+		})
+	}
+}
+
+// TestEnvironmentValidationTable pins the config error surface.
+func TestEnvironmentValidationTable(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero file", Config{Algorithm: core.AlgGreedy}},
+		{"negative file", Config{FileMB: -1, Algorithm: core.AlgGreedy}},
+		{"no capacity", Config{FileMB: 10, Algorithm: core.AlgGreedy, Environment: &Environment{}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(tc.cfg); err == nil {
+				t.Fatal("want a config error")
+			}
+		})
+	}
+	// A one-network environment is degenerate but legal: the device simply
+	// has nowhere better to go, and the download still finishes.
+	res, err := Run(Config{FileMB: 10, Algorithm: core.AlgGreedy, Seed: 5,
+		Environment: &Environment{WiFiCapacityMbps: 5, WiFiUsersMax: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("WiFi-only environment did not complete the download")
+	}
+}
