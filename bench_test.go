@@ -325,20 +325,20 @@ func BenchmarkServeSelect(b *testing.B) {
 	arms := []int{0, 1, 2, 3}
 	gains := []float64{0.2, 0.4, 0.9, 0.5}
 	for i := 0; i < 300; i++ { // warm: past explore-first and pool growth
-		arm, err := store.Select(7, arms)
+		arm, slot, err := store.Select(7, arms)
 		if err != nil {
 			b.Fatal(err)
 		}
-		store.Feedback(7, arm, gains[arm])
+		store.Feedback(7, arm, slot, gains[arm])
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		arm, err := store.Select(7, arms)
+		arm, slot, err := store.Select(7, arms)
 		if err != nil {
 			b.Fatal(err)
 		}
-		store.Feedback(7, arm, gains[arm])
+		store.Feedback(7, arm, slot, gains[arm])
 	}
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
@@ -360,11 +360,11 @@ func BenchmarkServeSelectParallel(b *testing.B) {
 	procs := runtime.GOMAXPROCS(0)
 	for dev := uint64(0); dev < uint64(procs); dev++ { // warm every goroutine's device
 		for i := 0; i < 300; i++ {
-			arm, err := store.Select(dev, arms)
+			arm, slot, err := store.Select(dev, arms)
 			if err != nil {
 				b.Fatal(err)
 			}
-			store.Feedback(dev, arm, gains[arm])
+			store.Feedback(dev, arm, slot, gains[arm])
 		}
 	}
 	var next atomic.Uint64
@@ -373,12 +373,12 @@ func BenchmarkServeSelectParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		dev := (next.Add(1) - 1) % uint64(procs)
 		for pb.Next() {
-			arm, err := store.Select(dev, arms)
+			arm, slot, err := store.Select(dev, arms)
 			if err != nil {
 				b.Error(err)
 				return
 			}
-			store.Feedback(dev, arm, gains[arm])
+			store.Feedback(dev, arm, slot, gains[arm])
 		}
 	})
 	b.StopTimer()

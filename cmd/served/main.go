@@ -10,11 +10,18 @@
 // exiting, and (with -snapshot-every) checkpoints it periodically — a
 // restart resumes every device's learned weights bit for bit.
 //
+// With -evict-idle set, a background sweep retires device sessions that
+// have gone quiet — clients that vanished without Release — bounding the
+// daemon's memory by its active fleet rather than its lifetime. Eviction
+// does not bend determinism: an evicted device that comes back re-joins
+// from its per-device root seed, exactly like a device the client released.
+//
 // Usage:
 //
 //	served                                  # listen on 127.0.0.1:9632
 //	served -listen 0.0.0.0:9632 -alg smart  # serve Smart EXP3 to the network
 //	served -snapshot /var/lib/served.snap -snapshot-every 5m
+//	served -evict-idle 1h                   # retire sessions idle > 1 hour
 //
 // The protocol is unauthenticated and unencrypted (stdlib gob over TCP):
 // run served only on networks where every peer is trusted, exactly like
@@ -63,6 +70,8 @@ func run(args []string) error {
 		maxArms  = fs.Int("max-arms", 0, "per-request arm-set bound (default 1024)")
 		snapshot = fs.String("snapshot", "", "state file: restored at boot if present, written on SIGTERM/SIGINT")
 		every    = fs.Duration("snapshot-every", 0, "also checkpoint the state file at this interval (requires -snapshot)")
+		evict    = fs.Duration("evict-idle", 0, "retire device sessions idle longer than this (0 disables; evicted devices re-join from their seed)")
+		sweepEvy = fs.Duration("evict-every", 0, "idle-eviction sweep interval (default evict-idle/4, requires -evict-idle)")
 		quiet    = fs.Bool("quiet", false, "suppress log lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,12 +84,21 @@ func run(args []string) error {
 	if *every > 0 && *snapshot == "" {
 		return fmt.Errorf("-snapshot-every requires -snapshot")
 	}
+	if *sweepEvy > 0 && *evict <= 0 {
+		return fmt.Errorf("-evict-every requires -evict-idle")
+	}
+	if *evict > 0 && *sweepEvy <= 0 {
+		if *sweepEvy = *evict / 4; *sweepEvy <= 0 {
+			*sweepEvy = *evict
+		}
+	}
 
 	store, err := serve.NewStore(serve.Config{
-		Algorithm: alg,
-		Seed:      *seed,
-		Shards:    *shards,
-		MaxArms:   *maxArms,
+		Algorithm:  alg,
+		Seed:       *seed,
+		Shards:     *shards,
+		MaxArms:    *maxArms,
+		EvictAfter: *evict,
 	})
 	if err != nil {
 		return err
@@ -122,9 +140,18 @@ func run(args []string) error {
 			defer t.Stop()
 			tick = t.C
 		}
+		var sweep <-chan time.Time
+		if *evict > 0 {
+			t := time.NewTicker(*sweepEvy)
+			defer t.Stop()
+			sweep = t.C
+		}
 		for {
 			select {
 			case sig := <-sigCh:
+				// Returning here also stops the eviction sweeper, so the final
+				// snapshot in main sees a store no sweep is mutating: devices
+				// active at the moment of the signal are flushed, not raced.
 				logf("caught %v, flushing state", sig)
 				close(shutdown)
 				ln.Close()  // stop accepting; Serve returns
@@ -135,6 +162,10 @@ func run(args []string) error {
 					logf("checkpoint failed: %v", err)
 				} else {
 					logf("checkpointed %d device sessions to %s", store.Devices(), *snapshot)
+				}
+			case <-sweep:
+				if n := store.EvictIdle(); n > 0 {
+					logf("evicted %d device sessions idle longer than %v", n, *evict)
 				}
 			}
 		}

@@ -92,14 +92,14 @@ func TestRunSnapshotCycleResumesBitIdentically(t *testing.T) {
 	var want []int
 	for slot := 0; slot < end; slot++ {
 		for _, dev := range []uint64{1, 2} {
-			arm, err := ref.Select(dev, arms)
+			arm, sl, err := ref.Select(dev, arms)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if slot >= cut {
 				want = append(want, arm)
 			}
-			ref.Feedback(dev, arm, float64(arm%7)/7)
+			ref.Feedback(dev, arm, sl, float64(arm%7)/7)
 		}
 	}
 
@@ -150,7 +150,71 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		!strings.Contains(err.Error(), "requires -snapshot") {
 		t.Fatalf("-snapshot-every without -snapshot must be rejected, got %v", err)
 	}
+	if err := run([]string{"-evict-every", "1m"}); err == nil ||
+		!strings.Contains(err.Error(), "requires -evict-idle") {
+		t.Fatalf("-evict-every without -evict-idle must be rejected, got %v", err)
+	}
 	if err := run([]string{"-listen", "not-an-address"}); err == nil {
 		t.Fatal("want a listen error")
+	}
+}
+
+// TestRunEvictsIdleDevicesDeterministically boots the daemon with a short
+// idle TTL, lets a device's session go quiet past it, and proves both
+// halves of the eviction contract: the session is really gone (the re-join
+// decides like a brand-new device replayed from the root seed, not like a
+// continuation), and a device kept busy decides exactly as if eviction
+// were disabled.
+func TestRunEvictsIdleDevicesDeterministically(t *testing.T) {
+	addr, errCh := bootDaemon(t, "-evict-idle", "150ms", "-evict-every", "25ms")
+	defer func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("SIGTERM exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit on SIGTERM")
+		}
+	}()
+
+	first := driveDaemon(t, addr, 0, 20)
+
+	// The daemon's defaults, replayed twice in process: what the re-joined
+	// device must decide if eviction really reset it.
+	ref, err := serve.NewStore(serve.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := []int{10, 20, 30}
+	var fresh []int
+	for slot := 0; slot < 20; slot++ {
+		for _, dev := range []uint64{1, 2} {
+			arm, sl, err := ref.Select(dev, arms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh = append(fresh, arm)
+			ref.Feedback(dev, arm, sl, float64(arm%7)/7)
+		}
+	}
+	for i := range fresh {
+		if first[i] != fresh[i] {
+			t.Fatalf("selection %d: daemon chose %d, reference store %d", i, first[i], fresh[i])
+		}
+	}
+
+	// Idle past the TTL: the sweep must retire both devices.
+	time.Sleep(500 * time.Millisecond)
+
+	again := driveDaemon(t, addr, 0, 20)
+	for i := range fresh {
+		if again[i] != fresh[i] {
+			t.Fatalf("selection %d after eviction: daemon chose %d, a from-seed replay chooses %d — the idle session survived or resumed dirty",
+				i, again[i], fresh[i])
+		}
 	}
 }

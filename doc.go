@@ -105,7 +105,18 @@
 //     order with exact policy and RNG-cursor state, and a
 //     snapshot/restart/replay is byte-identical to an uninterrupted run —
 //     the daemon checkpoints on SIGTERM (and optionally on a timer) and
-//     resumes mid-stream without losing learned weights.
+//     resumes mid-stream without losing learned weights. The layer is
+//     self-healing end to end: selections carry slot ids so the store
+//     deduplicates replayed requests, the client redials with capped
+//     exponential backoff and resends unconfirmed feedback (transparent to
+//     callers, optionally degrading to a local fallback store), and the
+//     daemon evicts idle device sessions on a TTL without bending
+//     determinism — an evicted device re-joins from its per-device seed.
+//     internal/chaos pins all of it: a deterministic, seeded
+//     fault-injection net.Conn wrapper and in-process TCP proxy (latency,
+//     bit flips, mid-frame cuts, stalls at replayable byte offsets) under
+//     which a serve session must be decision- and state-identical to a
+//     clean one.
 //
 // The determinism contract ties the layers together: per-run seeds are a
 // pure function of (base seed, stream ids, run index) via

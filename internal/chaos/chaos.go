@@ -1,0 +1,320 @@
+// Package chaos is a deterministic, seeded fault-injection layer for the
+// repo's TCP protocols: a net.Conn wrapper and an in-process proxy that
+// inject latency, byte corruption, mid-frame cuts, and stalls into a byte
+// stream according to a schedule derived from rngutil.ChildSeed — so every
+// failure sequence is replayable from a seed, and a test that survives
+// chaos seed 7 today survives exactly the same chaos seed 7 forever.
+//
+// Faults are scheduled by *byte offset*, not by packet or call: the gap to
+// the next fault is drawn as a renewal process over the stream's bytes,
+// which makes the schedule independent of how the kernel or bufio happens
+// to chunk reads and writes. Each (connection index, direction) pair gets
+// its own child-seeded schedule, so the client→server and server→client
+// halves of connection 3 fault identically across runs regardless of
+// goroutine interleaving.
+//
+// The layer never violates a transport's failure model: corruption and
+// truncation surface to the victim as what real networks produce (checksum
+// mismatches, unexpected EOFs, resets, deadline timeouts). What a protocol
+// does next — reconnect, resend, recover — is exactly what the chaos tests
+// exist to observe.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"smartexp3/internal/rngutil"
+)
+
+// Fault kinds, in the order their weights appear in Faults.
+const (
+	kindDelay = iota
+	kindCorrupt
+	kindCut
+	kindStall
+	kindCount
+)
+
+// Faults configures a fault schedule. The zero value injects nothing;
+// enable a fault kind by giving it a positive weight. Two schedules built
+// from equal Faults and the same (connection, direction) indices are
+// identical.
+type Faults struct {
+	// Seed roots every schedule. Connection i's direction d draws from
+	// rngutil.ChildSeed(Seed, i, d).
+	Seed int64
+
+	// MinGap/MaxGap bound the clean-byte run between consecutive faults.
+	// Zero means 256 and 8192 respectively.
+	MinGap, MaxGap int
+
+	// Delay, Corrupt, Cut and Stall weight the fault kinds against each
+	// other (a categorical draw at each scheduled offset). A weight of
+	// zero disables that kind.
+	//
+	//   Delay   pauses the stream briefly (up to MaxDelay) — latency.
+	//   Corrupt flips one bit of one byte in flight — the CRC firewall's
+	//           reason to exist.
+	//   Cut     severs the connection mid-stream (a reset when the
+	//           transport supports it), leaving a partial frame behind.
+	//   Stall   pauses the stream for StallFor — long enough, by
+	//           configuration, to trip the victim's frame timeout.
+	Delay, Corrupt, Cut, Stall int
+
+	// MaxDelay bounds an injected latency pause; zero means 2ms.
+	MaxDelay time.Duration
+	// StallFor is how long a stall holds the stream; zero means 150ms.
+	// Point it just past the victim's FrameTimeout to exercise deadline
+	// recovery rather than mere slowness.
+	StallFor time.Duration
+}
+
+func (f Faults) minGap() int {
+	if f.MinGap <= 0 {
+		return 256
+	}
+	return f.MinGap
+}
+
+func (f Faults) maxGap() int {
+	if g := f.maxGapRaw(); g < f.minGap() {
+		return f.minGap()
+	} else {
+		return g
+	}
+}
+
+func (f Faults) maxGapRaw() int {
+	if f.MaxGap <= 0 {
+		return 8192
+	}
+	return f.MaxGap
+}
+
+func (f Faults) maxDelay() time.Duration {
+	if f.MaxDelay <= 0 {
+		return 2 * time.Millisecond
+	}
+	return f.MaxDelay
+}
+
+func (f Faults) stallFor() time.Duration {
+	if f.StallFor <= 0 {
+		return 150 * time.Millisecond
+	}
+	return f.StallFor
+}
+
+// Directions index the two halves of a connection in ChildSeed space.
+const (
+	DirUp   = 0 // client → server
+	DirDown = 1 // server → client
+)
+
+// schedule is one direction's deterministic fault stream: the absolute
+// byte offset and kind of the next fault, advanced as bytes pass.
+type schedule struct {
+	f       Faults
+	rng     *rand.Rand
+	weights [kindCount]int
+	total   int
+	offset  int64 // bytes passed so far
+	next    int64 // absolute offset of the next fault
+	kind    int
+	dead    bool // a cut landed; no more bytes pass
+}
+
+// newSchedule derives connection conn's schedule for direction dir.
+func newSchedule(f Faults, conn, dir int64) *schedule {
+	s := &schedule{
+		f:       f,
+		rng:     rngutil.NewChild(f.Seed, conn, dir),
+		weights: [kindCount]int{kindDelay: f.Delay, kindCorrupt: f.Corrupt, kindCut: f.Cut, kindStall: f.Stall},
+	}
+	for _, w := range s.weights {
+		s.total += w
+	}
+	s.advance()
+	return s
+}
+
+// advance draws the gap to the next fault and its kind.
+func (s *schedule) advance() {
+	if s.total <= 0 {
+		s.next = int64(^uint64(0) >> 1) // no faults, ever
+		return
+	}
+	gap := s.f.minGap()
+	if spread := s.f.maxGap() - s.f.minGap(); spread > 0 {
+		gap += s.rng.Intn(spread + 1)
+	}
+	s.next = s.offset + int64(gap)
+	u := s.rng.Intn(s.total)
+	for k, w := range s.weights {
+		if u < w {
+			s.kind = k
+			return
+		}
+		u -= w
+	}
+}
+
+// Mangle applies f's schedule for connection index 0, direction DirUp, to
+// data and returns the mangled copy plus the offset of the first fault
+// that landed (len(data) when none did). Time-based faults (delay, stall)
+// are skipped — there is no clock in a fuzz harness — so only corruption
+// and cuts alter the bytes: a corrupt flips one bit, a cut truncates the
+// stream there. Fuzz targets use this to derive the "bytes before the
+// first fault are intact" invariant.
+func Mangle(data []byte, f Faults) (out []byte, firstFault int) {
+	sc := newSchedule(f, 0, DirUp)
+	out = append([]byte(nil), data...)
+	firstFault = len(data)
+	for sc.next < int64(len(out)) {
+		at := int(sc.next)
+		switch sc.kind {
+		case kindCorrupt:
+			if at < firstFault {
+				firstFault = at
+			}
+			out[at] ^= 1 << uint(sc.rng.Intn(8))
+		case kindCut:
+			if at < firstFault {
+				firstFault = at
+			}
+			return out[:at], firstFault
+		}
+		sc.offset = sc.next
+		sc.advance()
+	}
+	return out, firstFault
+}
+
+// Conn wraps a net.Conn with fault injection in both directions. It is
+// what the proxy threads traffic through, and tests can also wrap raw
+// connections directly. Reads and writes each consult their own schedule;
+// a cut closes the underlying connection (with a best-effort TCP reset) so
+// both halves die, as a real mid-stream failure would.
+type Conn struct {
+	net.Conn
+	rd, wr *schedule
+
+	mu   sync.Mutex
+	cut  bool
+	stop <-chan struct{} // optional: interrupts delay/stall sleeps
+}
+
+// WrapConn wraps conn with the fault schedules of connection index and
+// both directions of f. stop, when non-nil, interrupts in-progress
+// delay/stall sleeps (a test tearing down should not wait out a stall).
+func WrapConn(conn net.Conn, f Faults, index int64, stop <-chan struct{}) *Conn {
+	return &Conn{
+		Conn: conn,
+		rd:   newSchedule(f, index, DirDown),
+		wr:   newSchedule(f, index, DirUp),
+		stop: stop,
+	}
+}
+
+// sleep pauses for d or until the stop channel fires.
+func (c *Conn) sleep(d time.Duration) {
+	if c.stop == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.stop:
+	}
+}
+
+// sever closes the underlying connection mid-stream. For TCP, linger 0
+// turns the close into a reset: the peer sees ECONNRESET instead of a tidy
+// EOF, the harshest honest version of a cut.
+func (c *Conn) sever() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cut {
+		return
+	}
+	c.cut = true
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	_ = c.Conn.Close()
+}
+
+// apply walks n freshly-passed bytes of p against sc, mutating them for
+// byte faults and sleeping for time faults. It returns how many of the n
+// bytes survive (shorter only when a cut landed inside the window) and
+// whether a cut fired. It never severs the connection itself: Write must
+// flush the surviving prefix before the cut lands, so the caller severs
+// at the right moment for its direction.
+func (c *Conn) apply(sc *schedule, p []byte, n int) (int, bool) {
+	if sc.dead {
+		return 0, true
+	}
+	start := sc.offset // sc.offset advances per fault; p indexes from here
+	end := start + int64(n)
+	for sc.next < end {
+		at := int(sc.next - start)
+		switch sc.kind {
+		case kindDelay:
+			c.sleep(time.Duration(sc.rng.Int63n(int64(sc.f.maxDelay()) + 1)))
+		case kindStall:
+			c.sleep(sc.f.stallFor())
+		case kindCorrupt:
+			p[at] ^= 1 << uint(sc.rng.Intn(8))
+		case kindCut:
+			sc.dead = true
+			sc.offset = sc.next
+			return at, true
+		}
+		sc.offset = sc.next
+		sc.advance()
+	}
+	sc.offset = end
+	return n, false
+}
+
+// Read reads from the underlying connection and applies the inbound
+// schedule to the bytes delivered. A cut inside the window delivers the
+// bytes before it, severs, and lets the next Read surface the error.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		kept, severed := c.apply(c.rd, p[:n], n)
+		if severed {
+			c.sever()
+		}
+		if kept < n {
+			return kept, nil // the cut error surfaces on the next call
+		}
+	}
+	return n, err
+}
+
+// Write applies the outbound schedule, flushes the surviving prefix, and
+// only then severs on a cut — the bytes scheduled to arrive before the
+// cut must actually arrive, whatever the caller's chunking.
+func (c *Conn) Write(p []byte) (int, error) {
+	// Faults mutate bytes in place; never the caller's buffer.
+	buf := append([]byte(nil), p...)
+	kept, severed := c.apply(c.wr, buf, len(buf))
+	n, err := c.Conn.Write(buf[:kept])
+	if severed {
+		c.sever()
+		if err == nil {
+			err = net.ErrClosed
+		}
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	return n, err
+}

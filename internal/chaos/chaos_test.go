@@ -1,0 +1,304 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testPayload is a deterministic byte stream long enough to cross many
+// fault gaps at the test's MinGap/MaxGap.
+func testPayload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*31 + i>>8)
+	}
+	return b
+}
+
+func TestMangleZeroFaultsIsIdentity(t *testing.T) {
+	data := testPayload(4096)
+	out, first := Mangle(data, Faults{Seed: 1})
+	if !bytes.Equal(out, data) {
+		t.Fatal("zero-weight faults altered the stream")
+	}
+	if first != len(data) {
+		t.Fatalf("firstFault = %d with no faults enabled, want %d", first, len(data))
+	}
+}
+
+// TestMangleIsReplayableFromSeed is the layer's charter: the same seed
+// mangles the same bytes the same way, and a different seed does not.
+func TestMangleIsReplayableFromSeed(t *testing.T) {
+	data := testPayload(1 << 15)
+	f := Faults{Seed: 7, MinGap: 64, MaxGap: 512, Corrupt: 3, Cut: 1}
+	a, firstA := Mangle(data, f)
+	b, firstB := Mangle(data, f)
+	if !bytes.Equal(a, b) || firstA != firstB {
+		t.Fatal("same seed produced different mangled streams")
+	}
+	if firstA == len(data) {
+		t.Fatal("schedule injected nothing over 32 KiB at a 512-byte max gap")
+	}
+	if !bytes.Equal(a[:firstA], data[:firstA]) {
+		t.Fatal("bytes before the first fault were not intact")
+	}
+	f.Seed = 8
+	c, _ := Mangle(data, f)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical fault placement")
+	}
+}
+
+func TestMangleCorruptFlipsSingleBits(t *testing.T) {
+	data := testPayload(1 << 14)
+	out, first := Mangle(data, Faults{Seed: 3, MinGap: 32, MaxGap: 128, Corrupt: 1})
+	if len(out) != len(data) {
+		t.Fatalf("corrupt-only mangle changed the length: %d -> %d", len(data), len(out))
+	}
+	diffs := 0
+	for i := range data {
+		if x := data[i] ^ out[i]; x != 0 {
+			diffs++
+			if x&(x-1) != 0 {
+				t.Fatalf("offset %d: flip 0b%08b is more than one bit", i, x)
+			}
+			if i < first {
+				t.Fatalf("fault at %d before reported firstFault %d", i, first)
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("corrupt schedule never fired")
+	}
+}
+
+func TestMangleCutTruncates(t *testing.T) {
+	data := testPayload(1 << 14)
+	out, first := Mangle(data, Faults{Seed: 5, MinGap: 100, MaxGap: 400, Cut: 1})
+	if first >= len(data) {
+		t.Fatal("cut schedule never fired over 16 KiB at a 400-byte max gap")
+	}
+	if len(out) != first {
+		t.Fatalf("cut at %d left %d bytes", first, len(out))
+	}
+	if !bytes.Equal(out, data[:first]) {
+		t.Fatal("bytes before the cut were not intact")
+	}
+}
+
+// pump writes data through a chaos.Conn over a pipe in chunks of the given
+// size and returns everything the far end received.
+func pump(t *testing.T, data []byte, f Faults, chunk int) []byte {
+	t.Helper()
+	client, server := net.Pipe()
+	cc := WrapConn(client, f, 0, nil)
+	var got bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = io.Copy(&got, server)
+	}()
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := cc.Write(data[off:end]); err != nil {
+			break // a scheduled cut severed the pipe
+		}
+	}
+	client.Close()
+	server.Close()
+	wg.Wait()
+	return got.Bytes()
+}
+
+// TestConnScheduleIsChunkingIndependent pins the byte-offset design: the
+// same stream pushed through chaos.Conn in 1-byte, 7-byte, and single
+// writes must arrive identically mangled, and identically to Mangle —
+// faults land at stream offsets, not at call boundaries.
+func TestConnScheduleIsChunkingIndependent(t *testing.T) {
+	data := testPayload(1 << 13)
+	f := Faults{Seed: 11, MinGap: 50, MaxGap: 300, Corrupt: 4, Cut: 1}
+	want, first := Mangle(data, f)
+	if first >= len(data) {
+		t.Fatal("schedule never fired; the test proves nothing")
+	}
+	for _, chunk := range []int{1, 7, 256, len(data)} {
+		got := pump(t, data, f, chunk)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk size %d: received %d bytes differing from Mangle's %d-byte reference",
+				chunk, len(got), len(want))
+		}
+	}
+}
+
+// TestConnReadAppliesInboundSchedule mirrors the write test on the read
+// path: bytes arriving through Conn.Read are mangled on the DirDown
+// schedule regardless of how the peer chunked them.
+func TestConnReadAppliesInboundSchedule(t *testing.T) {
+	data := testPayload(1 << 12)
+	f := Faults{Seed: 13, MinGap: 40, MaxGap: 200, Corrupt: 1}
+	read := func(chunk int) []byte {
+		client, server := net.Pipe()
+		cc := WrapConn(client, f, 0, nil)
+		go func() {
+			for off := 0; off < len(data); off += chunk {
+				end := off + chunk
+				if end > len(data) {
+					end = len(data)
+				}
+				if _, err := server.Write(data[off:end]); err != nil {
+					return
+				}
+			}
+			server.Close()
+		}()
+		var got bytes.Buffer
+		_, _ = io.Copy(&got, cc)
+		client.Close()
+		return got.Bytes()
+	}
+	want := read(len(data))
+	if bytes.Equal(want, data) {
+		t.Fatal("inbound schedule never fired")
+	}
+	for _, chunk := range []int{1, 13, 509} {
+		if got := read(chunk); !bytes.Equal(got, want) {
+			t.Fatalf("chunk size %d: inbound mangling depended on chunking", chunk)
+		}
+	}
+}
+
+// startEcho serves a byte-echo on loopback for proxy tests.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				_, _ = io.Copy(conn, conn)
+				conn.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestProxyZeroFaultsIsTransparent pins the no-chaos baseline: a proxy
+// with an empty schedule relays bytes untouched, in both directions.
+func TestProxyZeroFaultsIsTransparent(t *testing.T) {
+	p, err := NewProxy(startEcho(t), Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	data := testPayload(1 << 15)
+	go func() {
+		_, _ = conn.Write(data)
+	}()
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("transparent proxy altered the stream")
+	}
+	if n := p.Conns(); n != 1 {
+		t.Fatalf("proxy counted %d connections, want 1", n)
+	}
+}
+
+// TestProxyCutAllSeversLiveConnections pins the kill switch reconnect
+// tests rely on: CutAll kills the flow mid-stream but the proxy keeps
+// accepting, and each accept bumps Conns.
+func TestProxyCutAllSeversLiveConnections(t *testing.T) {
+	p, err := NewProxy(startEcho(t), Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prove the path is live before cutting it.
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	p.CutAll()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection survived CutAll")
+	}
+	conn.Close()
+
+	conn2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("proxy stopped accepting after CutAll: %v", err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn2, buf); err != nil {
+		t.Fatalf("second connection not relayed: %v", err)
+	}
+	if n := p.Conns(); n != 2 {
+		t.Fatalf("proxy counted %d connections, want 2", n)
+	}
+}
+
+// TestProxyScheduledCutEventuallyKillsTheFlow runs real faults through the
+// proxy: with cuts on the schedule, a long enough stream must die, and the
+// bytes delivered before the cut must be intact.
+func TestProxyScheduledCutEventuallyKillsTheFlow(t *testing.T) {
+	p, err := NewProxy(startEcho(t), Faults{Seed: 17, MinGap: 512, MaxGap: 2048, Cut: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	data := testPayload(1 << 20)
+	go func() {
+		_, _ = conn.Write(data)
+	}()
+	var got bytes.Buffer
+	_, err = io.Copy(&got, conn)
+	if got.Len() >= len(data) && err == nil {
+		t.Fatal("megabyte stream survived a 2 KiB max cut gap")
+	}
+	if !bytes.Equal(got.Bytes(), data[:got.Len()]) {
+		t.Fatal("bytes delivered before the cut were not intact")
+	}
+}

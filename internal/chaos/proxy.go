@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is an in-process TCP proxy that threads every accepted connection
+// through a chaos.Conn on the way to a fixed target. Tests put it between
+// a client and a real server to subject the wire protocol to a replayable
+// fault schedule without touching either endpoint.
+//
+// Connections are numbered in accept order, so the i-th dial through the
+// proxy always draws the same schedule: a client that reconnects after a
+// cut gets connection i+1's schedule, deterministically. Zero Faults make
+// the proxy a transparent relay — useful on its own for kill tests that
+// sever connections by hand via CutAll.
+type Proxy struct {
+	target string
+	faults Faults
+	ln     net.Listener
+
+	next  atomic.Int64 // accept-order connection index
+	conns atomic.Int64 // total connections accepted
+
+	mu     sync.Mutex
+	active map[*Conn]struct{}
+	closed bool
+	stop   chan struct{}
+	done   sync.WaitGroup
+}
+
+// NewProxy listens on an ephemeral loopback port and relays every accepted
+// connection to target through f's fault schedules. Close releases it.
+func NewProxy(target string, f Faults) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target: target,
+		faults: f,
+		ln:     ln,
+		active: make(map[*Conn]struct{}),
+		stop:   make(chan struct{}),
+	}
+	p.done.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's dialable address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Conns reports how many connections the proxy has accepted — a test's
+// proof that a client really did reconnect rather than ride one lucky
+// connection through the whole run.
+func (p *Proxy) Conns() int64 { return p.conns.Load() }
+
+func (p *Proxy) acceptLoop() {
+	defer p.done.Done()
+	for {
+		downstream, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		index := p.next.Add(1) - 1
+		p.conns.Add(1)
+		p.done.Add(1)
+		go p.relay(downstream, index)
+	}
+}
+
+// relay dials the target, wraps the upstream side in the connection's
+// fault schedules, and pumps bytes both ways until either side dies.
+func (p *Proxy) relay(downstream net.Conn, index int64) {
+	defer p.done.Done()
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		downstream.Close()
+		return
+	}
+	cc := WrapConn(upstream, p.faults, index, p.stop)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		cc.sever()
+		downstream.Close()
+		return
+	}
+	p.active[cc] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.active, cc)
+		p.mu.Unlock()
+	}()
+
+	// Both pumps funnel into the chaos conn, so client→server traffic is
+	// mangled on cc's write schedule and server→client on its read
+	// schedule. Either pump failing kills both halves: a half-open proxy
+	// would mask cuts the schedule intended to be total.
+	var pumps sync.WaitGroup
+	pumps.Add(2)
+	go func() {
+		defer pumps.Done()
+		_, _ = io.Copy(cc, downstream)
+		cc.sever()
+		downstream.Close()
+	}()
+	go func() {
+		defer pumps.Done()
+		_, _ = io.Copy(downstream, cc)
+		cc.sever()
+		downstream.Close()
+	}()
+	pumps.Wait()
+}
+
+// CutAll severs every live proxied connection, leaving the proxy itself
+// accepting — the "pull the switch's power, plug it back in" move for
+// reconnect tests that want a cut at a moment of their choosing rather
+// than the schedule's.
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for cc := range p.active {
+		cc.sever()
+	}
+}
+
+// Close stops accepting, severs every live connection, interrupts any
+// in-progress stalls, and waits for the relay goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.done.Wait()
+		return nil
+	}
+	p.closed = true
+	close(p.stop)
+	for cc := range p.active {
+		cc.sever()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.done.Wait()
+	return err
+}

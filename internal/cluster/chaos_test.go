@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"smartexp3/internal/chaos"
+	"smartexp3/internal/sim"
+)
+
+// TestRunSurvivesChaosProxiedWorker threads one of two workers through the
+// seeded chaos proxy — latency, corrupted bytes (which the frame CRC must
+// turn into connection errors, never silently different results) and
+// mid-stream cuts — and asserts the merged aggregate stays byte-identical
+// to the in-process run through all of it.
+func TestRunSurvivesChaosProxiedWorker(t *testing.T) {
+	job := testJob(t, 24)
+	merge, want := fingerprint()
+	if err := Run(job, nil, Options{LocalWorkers: 1}, merge); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := startWorkers(t, 2, WorkerOptions{Workers: 1})
+	proxy, err := chaos.NewProxy(addrs[0], chaos.Faults{
+		Seed:   29,
+		MinGap: 1024, MaxGap: 8192,
+		Delay: 2, Corrupt: 2, Cut: 1,
+		MaxDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	merge2, got := fingerprint()
+	err = Run(job, []string{proxy.Addr(), addrs[1]},
+		Options{ChunkSize: 2, LocalWorkers: 2, Logf: t.Logf}, merge2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("aggregate through the chaos proxy differs from the in-process aggregate")
+	}
+	if proxy.Conns() == 0 {
+		t.Fatal("the chaos proxy never saw a connection; the test proved nothing")
+	}
+}
+
+// chaosFrameStream renders the canonical session prefix FuzzChaosFrame
+// mangles — several frames on one persistent gob codec, long enough for
+// tight schedules to land many faults — and the byte offset where each
+// frame ends, so the harness knows which frames precede the first fault.
+func chaosFrameStream(tb testing.TB) (stream []byte, frameEnds []int) {
+	tb.Helper()
+	res := &envelope{RunResult: &runResultMsg{Job: 1, Run: 3, Res: &sim.Result{
+		Slots:    4,
+		Distance: []float64{0.5, 0.25, 0.125, 0},
+	}}}
+	frames := []*envelope{
+		{Hello: &helloMsg{Version: protocolVersion}},
+		{HelloAck: &helloAckMsg{Version: protocolVersion}},
+		{Range: &rangeMsg{Job: 1, First: 0, Count: 8}},
+		res, res, res,
+		{RangeDone: &rangeDoneMsg{Job: 1, First: 0}},
+		{Ping: &pingMsg{Seq: 7}},
+		{Pong: &pongMsg{Seq: 7}},
+	}
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	for _, env := range frames {
+		if err := fw.write(env); err != nil {
+			tb.Fatal(err)
+		}
+		frameEnds = append(frameEnds, buf.Len())
+	}
+	return buf.Bytes(), frameEnds
+}
+
+// chaosFrameSeeds is the checked-in corpus for FuzzChaosFrame: chaos
+// parameters from "no fault lands" through "a fault on every byte".
+func chaosFrameSeeds() [][5]uint64 {
+	return [][5]uint64{
+		// seed, minGap, maxGap, corrupt, cut
+		{7, 64, 512, 3, 1},
+		{1, 0, 0, 1, 0},       // default gaps, corruption only
+		{2, 16, 64, 0, 1},     // early cuts
+		{3, 1, 1, 1, 1},       // a fault on every byte past the first
+		{4, 4096, 8192, 7, 7}, // gaps wider than the stream: clean decode
+	}
+}
+
+// FuzzChaosFrame feeds chaos-mangled frame streams to the frame reader.
+// The invariant is the CRC firewall's contract: every frame wholly before
+// the first fault decodes exactly as it did clean, the frame containing
+// the fault surfaces an error (corruption must never gob-decode into
+// different values), and the stream stays dead after it.
+func FuzzChaosFrame(f *testing.F) {
+	for _, s := range chaosFrameSeeds() {
+		f.Add(int64(s[0]), s[1], s[2], s[3], s[4])
+	}
+	clean, frameEnds := chaosFrameStream(f)
+	want := make([]*envelope, 0, len(frameEnds))
+	ref := newFrameReader(bytes.NewReader(clean))
+	for range frameEnds {
+		env, err := ref.read()
+		if err != nil {
+			f.Fatal(err)
+		}
+		want = append(want, env)
+	}
+
+	f.Fuzz(func(t *testing.T, seed int64, minGap, maxGap, corrupt, cut uint64) {
+		faults := chaos.Faults{
+			Seed:   seed,
+			MinGap: int(minGap % 4096), MaxGap: int(maxGap % 8192),
+			Corrupt: int(corrupt % 8), Cut: int(cut % 8),
+		}
+		mangled, first := chaos.Mangle(clean, faults)
+		intact := 0
+		for _, end := range frameEnds {
+			if end > first {
+				break
+			}
+			intact++
+		}
+		fr := newFrameReader(bytes.NewReader(mangled))
+		for i := 0; i < intact; i++ {
+			got, err := fr.read()
+			if err != nil {
+				t.Fatalf("frame %d ends before the first fault at %d but failed: %v", i, first, err)
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Fatalf("frame %d ends before the first fault at %d but decoded differently", i, first)
+			}
+		}
+		// Everything after the last intact frame must error — at the fault
+		// (CRC mismatch, truncation) or at end of stream — and the reader
+		// must stay latched rather than resynchronize on garbage.
+		for i := 0; i < 32; i++ {
+			if _, err := fr.read(); err == nil {
+				t.Fatalf("read %d past the first fault at %d succeeded", intact+i, first)
+			}
+		}
+	})
+}
+
+// TestWriteFuzzChaosFrameCorpus regenerates the checked-in seed corpus
+// under testdata/fuzz/FuzzChaosFrame when UPDATE_FUZZ_CORPUS=1.
+func TestWriteFuzzChaosFrameCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set UPDATE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzChaosFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range chaosFrameSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\nint64(%d)\nuint64(%d)\nuint64(%d)\nuint64(%d)\nuint64(%d)\n",
+			int64(s[0]), s[1], s[2], s[3], s[4])
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -48,15 +50,20 @@ func fuzzSeedFrames(tb testing.TB) [][]byte {
 		// A realistic session prefix: several frames sharing one gob stream.
 		encodeFrames(tb, hello, rng, res, res),
 		// Framing corruptions.
-		{0, 0, 0, 0},             // zero-length frame
-		{0xff, 0xff, 0xff, 0xff}, // length far beyond maxFrameBytes
-		{0, 0, 0, 5, 1, 2},       // body shorter than its prefix
+		{0, 0, 0, 0, 0, 0, 0, 0},                         // zero-length frame
+		{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},             // length far beyond maxFrameBytes
+		{0, 0, 0, 5, 0, 0, 0, 0, 1, 2},                   // body shorter than its prefix
+		{0, 0, 0, 4, 0, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}, // checksum mismatch
 	}
 	truncated := encodeFrames(tb, hello)
 	seeds = append(seeds, truncated[:len(truncated)-3])
+	flipped := encodeFrames(tb, hello)
+	flipped[len(flipped)-1] ^= 0x01 // payload damaged in flight: CRC must catch it
+	seeds = append(seeds, flipped)
 	padded := encodeFrames(tb, hello)
 	padded = append(padded, 0xde, 0xad)
 	padded[3] += 2 // trailing bytes inside the declared frame
+	binary.BigEndian.PutUint32(padded[4:8], crc32.Checksum(padded[frameHeaderSize:], castagnoli))
 	seeds = append(seeds, padded)
 	return seeds
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"smartexp3/internal/sim"
@@ -14,8 +15,13 @@ import (
 // incompatibly. Coordinator and worker refuse to pair across versions, so a
 // stale shardd binary fails loudly at handshake instead of corrupting a
 // batch. Version 2 introduced persistent sessions: job multiplexing by id,
-// keepalive ping/pong, and job release.
-const protocolVersion = 2
+// keepalive ping/pong, and job release. Version 3 added the per-frame
+// CRC-32C to the frame header: gob detects most stream corruption but not
+// all of it (a flipped byte inside a float payload can decode cleanly to a
+// different value), and the chaos layer's determinism guarantee — a faulted
+// session decides exactly like a clean one — needs corruption to surface as
+// a connection error every time, never as silently different numbers.
+const protocolVersion = 3
 
 // maxFrameBytes bounds a single frame. A per-run Result frame is dominated
 // by the optional per-slot series (Distance, GroupDistance, Selections,
@@ -121,6 +127,17 @@ type jobReleaseMsg struct {
 	ID uint64
 }
 
+// frameHeaderSize is the fixed per-frame header: a 4-byte big-endian payload
+// length followed by the payload's CRC-32C. The checksum is the transport's
+// corruption firewall: a frame whose bytes were damaged in flight fails the
+// CRC before the gob decoder ever sees them, so corruption is always a
+// (retryable) connection error and never a silently different value.
+const frameHeaderSize = 8
+
+// castagnoli is the CRC-32C table, computed once; crc32.Checksum with a
+// prepared table is allocation-free and hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // retainFrameBytes is the high-water mark above which the persistent codec
 // buffers are released after an outsized frame instead of staying pinned
 // for the connection's (potentially very long) lifetime. One multi-MB
@@ -170,20 +187,22 @@ func NewFrameWriter(w io.Writer) *FrameWriter {
 // newFrameWriter is the package-internal spelling.
 func newFrameWriter(w io.Writer) *FrameWriter { return NewFrameWriter(w) }
 
-// Encode writes msg as one frame: a 4-byte big-endian length prefix and the
-// gob bytes of exactly one Encode call (which may bundle type descriptors
-// ahead of the value — the matching Decode consumes them all).
+// Encode writes msg as one frame: a 4-byte big-endian length prefix, the
+// payload's CRC-32C, and the gob bytes of exactly one Encode call (which may
+// bundle type descriptors ahead of the value — the matching Decode consumes
+// them all).
 func (fw *FrameWriter) Encode(msg any) error {
-	fw.buf.b = append(fw.buf.b[:0], 0, 0, 0, 0) // length placeholder
+	fw.buf.b = append(fw.buf.b[:0], 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
 	if err := fw.enc.Encode(msg); err != nil {
 		return fmt.Errorf("cluster: encode frame: %w", err)
 	}
 	b := fw.buf.b
-	payload := len(b) - 4
+	payload := len(b) - frameHeaderSize
 	if payload > maxFrameBytes {
 		return fmt.Errorf("cluster: frame of %d bytes exceeds the %d byte cap", payload, maxFrameBytes)
 	}
 	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+	binary.BigEndian.PutUint32(b[4:8], crc32.Checksum(b[frameHeaderSize:], castagnoli))
 	if cap(fw.buf.b) > retainFrameBytes {
 		fw.buf.b = nil // release the outsized backing array after this frame
 	}
@@ -196,11 +215,16 @@ func (fw *FrameWriter) Encode(msg any) error {
 // write encodes one cluster envelope (the package's own protocol).
 func (fw *FrameWriter) write(env *envelope) error { return fw.Encode(env) }
 
-// FrameReader reads length-prefixed frames through one persistent gob
-// decoder (the receive half of FrameWriter's contract). The length prefix
-// is read and bounds-checked before any allocation, preserving the
-// maxFrameBytes guarantee; the payload buffer is reused across frames (gob
+// FrameReader reads length-prefixed, checksummed frames through one
+// persistent gob decoder (the receive half of FrameWriter's contract). The
+// length prefix is read and bounds-checked before any allocation, preserving
+// the maxFrameBytes guarantee; the payload's CRC-32C is verified before the
+// decoder sees a byte; the payload buffer is reused across frames (gob
 // copies decoded values out, nothing aliases it).
+//
+// Errors latch: a framed gob stream has no resynchronization point, so once
+// any Decode fails — framing, checksum or gob — every later Decode returns
+// the same error rather than risking misattributed frames.
 //
 // Not safe for concurrent use; one goroutine reads per connection.
 type FrameReader struct {
@@ -208,6 +232,7 @@ type FrameReader struct {
 	payload []byte
 	cur     bytes.Reader
 	dec     *gob.Decoder
+	err     error // first failure; the stream is dead after one
 }
 
 // NewFrameReader returns a frame reader for one connection's inbound
@@ -225,13 +250,25 @@ func newFrameReader(r io.Reader) *FrameReader { return NewFrameReader(r) }
 
 // Decode reads one frame and decodes it into msg (a pointer, as for
 // gob.Decoder.Decode). A clean connection close between frames surfaces as
-// io.EOF exactly.
+// io.EOF exactly. Any failure is latched: the stream is unusable afterwards.
 func (fr *FrameReader) Decode(msg any) error {
-	var hdr [4]byte
+	if fr.err != nil {
+		return fr.err
+	}
+	if err := fr.decode(msg); err != nil {
+		fr.err = err
+		return err
+	}
+	return nil
+}
+
+func (fr *FrameReader) decode(msg any) error {
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
 		return err // io.EOF signals a clean close between frames
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
+	sum := binary.BigEndian.Uint32(hdr[4:8])
 	if n == 0 || n > maxFrameBytes {
 		return fmt.Errorf("cluster: frame length %d outside (0, %d]", n, maxFrameBytes)
 	}
@@ -241,6 +278,9 @@ func (fr *FrameReader) Decode(msg any) error {
 	fr.payload = fr.payload[:n]
 	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
 		return fmt.Errorf("cluster: read frame body: %w", err)
+	}
+	if got := crc32.Checksum(fr.payload, castagnoli); got != sum {
+		return fmt.Errorf("cluster: frame checksum %08x, want %08x (corrupt stream)", got, sum)
 	}
 	fr.cur.Reset(fr.payload)
 	if cap(fr.payload) > retainFrameBytes {

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"smartexp3/internal/chaos"
+)
+
+// learnedState encodes a store's snapshot with the Dropped counter zeroed:
+// under chaos the served store legitimately drops resent duplicates (that
+// is the slot dedup working), so the determinism claim is about everything
+// else — device policy state, rng cursors, pending selections, slots.
+func learnedState(t *testing.T, s *Store) []byte {
+	t.Helper()
+	sn := s.Snapshot()
+	sn.Dropped = 0
+	var buf bytes.Buffer
+	if err := sn.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// chaosClientOptions tunes the self-healing client for a fault-heavy test:
+// fast retries, plenty of attempts, and a frame timeout short enough that
+// a stalled proxy connection turns into a reconnect instead of a hang.
+func chaosClientOptions() ClientOptions {
+	return ClientOptions{
+		FrameTimeout: 2 * time.Second,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		MaxAttempts:  20,
+	}
+}
+
+// TestClientChaosSessionIsDecisionIdentical is the tentpole's acceptance
+// criterion: a client session routed through a seeded chaos proxy —
+// latency, corrupted frames, mid-stream cuts — must make byte-for-byte the
+// same decisions as the same script against a clean in-process store, with
+// at least one forced reconnect along the way, and leave the served store
+// in a state byte-identical to the clean one (every resent feedback report
+// applied exactly once). No goroutine may outlive the session.
+func TestClientChaosSessionIsDecisionIdentical(t *testing.T) {
+	const devices = 3
+	const slots = 400
+	for _, seed := range []int64{23, 101} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			store, addr := startServer(t, Config{})
+			baseline := runtime.NumGoroutine()
+			proxy, err := chaos.NewProxy(addr, chaos.Faults{
+				Seed:   seed,
+				MinGap: 1024, MaxGap: 4096,
+				Delay: 3, Corrupt: 2, Cut: 2,
+				MaxDelay: time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Dial(proxy.Addr(), chaosClientOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			clean := newTestStore(t, Config{})
+			arms := []int{10, 20, 30}
+			for slot := 0; slot < slots; slot++ {
+				for dev := uint64(1); dev <= devices; dev++ {
+					got, err := c.Select(dev, arms)
+					if err != nil {
+						t.Fatalf("slot %d device %d: %v", slot, dev, err)
+					}
+					want, sl, err := clean.Select(dev, arms)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != want {
+						t.Fatalf("slot %d device %d: chaos session selected %d, clean store %d (after %d reconnects)",
+							slot, dev, got, want, c.Reconnects())
+					}
+					r := reward(dev, got, slot)
+					if err := c.Feedback(dev, got, r); err != nil {
+						t.Fatal(err)
+					}
+					clean.Feedback(dev, want, sl, r)
+				}
+			}
+			// Barrier: the Pong proves the daemon consumed every report.
+			if err := c.Ping(); err != nil {
+				t.Fatal(err)
+			}
+			if c.Reconnects() == 0 {
+				t.Fatal("chaos schedule never forced a reconnect; the test proved nothing")
+			}
+			if d := c.DroppedFeedback(); d != 0 {
+				t.Fatalf("overload guard dropped %d reports in a session that never should have filled it", d)
+			}
+			// The stores must agree byte for byte: resends deduplicated by
+			// slot, nothing lost, nothing double-applied.
+			if !bytes.Equal(learnedState(t, store), learnedState(t, clean)) {
+				t.Fatalf("served store diverged from the clean store after %d reconnects", c.Reconnects())
+			}
+
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := proxy.Close(); err != nil {
+				t.Fatal(err)
+			}
+			waitGoroutines(t, baseline)
+		})
+	}
+}
+
+// waitGoroutines polls until the goroutine count returns to the baseline
+// taken before the session started, dumping stacks if it never does.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("%d goroutines alive, want %d; stacks:\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}
+
+// TestClientSurvivesManualCut uses the proxy's kill switch instead of a
+// schedule: sever every connection at a moment of the test's choosing and
+// the very next Select must transparently reconnect and return the arm the
+// store had already committed to.
+func TestClientSurvivesManualCut(t *testing.T) {
+	store, addr := startServer(t, Config{})
+	proxy, err := chaos.NewProxy(addr, chaos.Faults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c, err := Dial(proxy.Addr(), chaosClientOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	clean := newTestStore(t, Config{})
+	arms := []int{1, 2, 3}
+	for slot := 0; slot < 30; slot++ {
+		if slot%10 == 5 {
+			proxy.CutAll()
+		}
+		got, err := c.Select(7, arms)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		want, sl, err := clean.Select(7, arms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("slot %d: selected %d after cut, clean store %d", slot, got, want)
+		}
+		r := reward(7, got, slot)
+		if err := c.Feedback(7, got, r); err != nil {
+			t.Fatal(err)
+		}
+		clean.Feedback(7, want, sl, r)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reconnects() < 3 {
+		t.Fatalf("3 cuts forced only %d reconnects", c.Reconnects())
+	}
+	if !bytes.Equal(learnedState(t, store), learnedState(t, clean)) {
+		t.Fatal("served store diverged from the clean store across manual cuts")
+	}
+}
+
+// TestClientWithoutRedialerFailsFastAndCloseIsIdempotent pins the legacy
+// error taxonomy the reconnect work must not change: with no redialer the
+// first transport failure permanently poisons the session, every later
+// call returns the same death, and Close stays idempotent (nil) after it.
+func TestClientWithoutRedialerFailsFastAndCloseIsIdempotent(t *testing.T) {
+	store, err := NewStore(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, ServerOptions{})
+	clientConn, serverConn := net.Pipe()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.serveConn(serverConn) }()
+	c, err := NewClient(clientConn, ClientOptions{FrameTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Select(1, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the transport under the client: the pipe dies, no redialer.
+	serverConn.Close()
+	<-done
+	if _, err := c.Select(1, []int{1, 2}); err == nil {
+		t.Fatal("Select succeeded over a dead pipe with no redialer")
+	}
+	if _, err := c.Select(1, []int{1, 2}); err == nil {
+		t.Fatal("a poisoned session answered a Select")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close after a session death: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("repeated Close must be nil, got %v", err)
+	}
+}
+
+// TestClientDegradesToFallbackAndRecovers pins the availability escape
+// hatch: with the daemon gone past MaxAttempts a client with a Fallback
+// store serves selections locally (a deliberate fork of that device's
+// learning), keeps doing so between probes, and rejoins the daemon when a
+// probe finds it listening again.
+func TestClientDegradesToFallbackAndRecovers(t *testing.T) {
+	store, err := NewStore(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := NewServer(store, ServerOptions{FrameTimeout: 30 * time.Second})
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(ln) }()
+
+	fb := newTestStore(t, Config{})
+	opts := chaosClientOptions()
+	opts.MaxAttempts = 2
+	opts.Fallback = fb
+	opts.FallbackProbe = 50 * time.Millisecond
+	opts.FrameTimeout = time.Second
+	c, err := Dial(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	arms := []int{1, 2, 3}
+	if _, err := c.Select(1, arms); err != nil {
+		t.Fatal(err)
+	}
+
+	// Take the daemon down hard: listener and server both gone.
+	ln.Close()
+	srv.Close()
+	<-done
+
+	arm, err := c.Select(1, arms)
+	if err != nil {
+		t.Fatalf("Select with a fallback store configured: %v", err)
+	}
+	if !c.Degraded() {
+		t.Fatal("client not degraded after the daemon vanished")
+	}
+	if arm != 1 && arm != 2 && arm != 3 {
+		t.Fatalf("fallback selected arm %d outside the arm set", arm)
+	}
+	// Feedback for a locally-served selection must land on the fallback
+	// store, observable through its snapshot changing.
+	before := encodeSnapshot(t, fb)
+	if err := c.Feedback(1, arm, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, encodeSnapshot(t, fb)) {
+		t.Fatal("feedback while degraded did not reach the fallback store")
+	}
+
+	// Resurrect the daemon on the same address; the next probe after the
+	// probe interval should rejoin it.
+	var ln2 net.Listener
+	for i := 0; i < 100; i++ {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("could not rebind %s: %v", addr, err)
+	}
+	store2, err := NewStore(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(store2, ServerOptions{FrameTimeout: 30 * time.Second})
+	done2 := make(chan struct{})
+	go func() { defer close(done2); _ = srv2.Serve(ln2) }()
+	defer func() {
+		ln2.Close()
+		srv2.Close()
+		<-done2
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never rejoined the resurrected daemon")
+		}
+		time.Sleep(opts.FallbackProbe)
+		if _, err := c.Select(1, arms); err != nil {
+			t.Fatalf("Select during recovery: %v", err)
+		}
+	}
+	if _, err := c.Select(2, arms); err != nil {
+		t.Fatalf("live Select after recovery: %v", err)
+	}
+}

@@ -4,13 +4,14 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
 	"smartexp3/internal/cluster"
 )
 
-// ClientOptions tunes a client connection.
+// ClientOptions tunes a client connection and its recovery behavior.
 type ClientOptions struct {
 	// DialTimeout bounds connection establishment; zero means 5 seconds.
 	DialTimeout time.Duration
@@ -22,6 +23,39 @@ type ClientOptions struct {
 	// Select, Release, Ping and Close, so the buffer never outlives the
 	// traffic that should observe it.
 	FeedbackBatch int
+
+	// Redial re-establishes the transport after a transient failure. Dial
+	// installs a TCP redialer for its address automatically; NewClient
+	// callers provide their own (or none). With Redial nil the client is
+	// fail-fast: the first transport error permanently poisons the
+	// session, the pre-reconnect behavior.
+	Redial func() (net.Conn, error)
+	// MaxAttempts bounds the transport tries (initial + redials) one
+	// operation makes before giving up; zero means 8.
+	MaxAttempts int
+	// BackoffBase is the delay before the first redial; it doubles per
+	// attempt up to BackoffMax, jittered to [d/2, d) so clients of a
+	// restarting daemon do not reconnect in lockstep. Zero means 20ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay; zero means 2 seconds.
+	BackoffMax time.Duration
+
+	// MaxBufferedFeedback bounds the reports held while the daemon is
+	// unreachable (the overload guard); beyond it the oldest are dropped
+	// and counted in DroppedFeedback. Zero means 4096.
+	MaxBufferedFeedback int
+
+	// Fallback, when set, is a local Store the client degrades to when
+	// the daemon stays unreachable past MaxAttempts: Select answers from
+	// in-process policy state instead of erroring. While degraded, the
+	// daemon is re-probed at most once per FallbackProbe; decisions made
+	// locally stay local (their feedback applies to the Fallback store,
+	// not the daemon), so a degraded episode is a deliberate fork of that
+	// device's learning, traded for availability.
+	Fallback *Store
+	// FallbackProbe is how long a degraded client waits between probes of
+	// the daemon; zero means 1 second.
+	FallbackProbe time.Duration
 }
 
 func (o ClientOptions) dialTimeout() time.Duration {
@@ -49,29 +83,117 @@ func (o ClientOptions) feedbackBatch() int {
 	return o.FeedbackBatch
 }
 
+func (o ClientOptions) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return 8
+	}
+	return o.MaxAttempts
+}
+
+func (o ClientOptions) backoffBase() time.Duration {
+	if o.BackoffBase <= 0 {
+		return 20 * time.Millisecond
+	}
+	return o.BackoffBase
+}
+
+func (o ClientOptions) backoffMax() time.Duration {
+	if o.BackoffMax <= 0 {
+		return 2 * time.Second
+	}
+	return o.BackoffMax
+}
+
+func (o ClientOptions) maxBufferedFeedback() int {
+	if o.MaxBufferedFeedback <= 0 {
+		return 4096
+	}
+	return o.MaxBufferedFeedback
+}
+
+func (o ClientOptions) fallbackProbe() time.Duration {
+	if o.FallbackProbe <= 0 {
+		return time.Second
+	}
+	return o.FallbackProbe
+}
+
+// RequestError is a request-level rejection (a malformed arm set, say):
+// the daemon answered, the session remains usable, and nothing is retried.
+// Every other error a client method returns is transport trouble.
+type RequestError struct{ Msg string }
+
+func (e *RequestError) Error() string { return e.Msg }
+
+// selection is the client's record of a device's outstanding Select: the
+// slot the store named for it (quoted back in feedback so resends cannot
+// double-count) and whether it was answered by the local Fallback store.
+type selection struct {
+	slot  uint64
+	local bool
+}
+
 // Client is one synchronous session against a serve daemon. It buffers
 // feedback and flushes it as one frame before anything that must observe
 // it, so the hot loop costs one round trip per Select and none per
-// Feedback. Not safe for concurrent use — one goroutine per client, the
-// same discipline as the cluster session layer.
+// Feedback.
+//
+// The client self-heals: a transport failure (cut, stall past the frame
+// timeout, corrupted frame) tears the connection down and the operation
+// retries over a fresh one with capped exponential backoff — up to
+// MaxAttempts tries. Recovery is safe because both directions are
+// idempotent at the store: a re-Select after a lost response returns the
+// same arm and slot, and feedback written-but-unconfirmed at the cut is
+// resent carrying its slot, which the store applies at most once. A chaos
+// session is therefore decision-identical to a clean one. Only handshake
+// rejections (wrong protocol era, wrong daemon) poison the client
+// permanently.
+//
+// Not safe for concurrent use — one goroutine per client, the same
+// discipline as the cluster session layer.
 type Client struct {
+	opts      ClientOptions
 	conn      net.Conn
 	bw        *bufio.Writer
 	fw        *cluster.FrameWriter
 	fr        *cluster.FrameReader
-	opts      ClientOptions
 	algorithm string
-	batch     []FeedbackItem
-	seq       uint64
-	pingSeq   uint64
-	err       error // first transport error; the session is dead after one
+
+	batch []FeedbackItem     // buffered reports not yet written
+	sent  []FeedbackItem     // written but unconfirmed by a response barrier
+	slots map[uint64]selection
+
+	seq     uint64
+	pingSeq uint64
+
+	connected bool
+	closed    bool
+	permErr   error // handshake-level failure; the client is dead after one
+
+	degraded      bool      // serving from opts.Fallback
+	degradedUntil time.Time // next daemon probe not before this instant
+
+	rng             *rand.Rand // backoff jitter
+	reconnects      uint64
+	droppedFeedback uint64
 }
 
-// Dial connects and handshakes.
+// Dial connects and handshakes. Unless ClientOptions.Redial is set, the
+// client re-dials addr automatically after transient transport failures.
 func Dial(addr string, opts ClientOptions) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, opts.dialTimeout())
+	if opts.Redial == nil {
+		timeout := opts.dialTimeout()
+		opts.Redial = func() (net.Conn, error) {
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+			}
+			return conn, nil
+		}
+	}
+	conn, err := opts.Redial()
 	if err != nil {
-		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+		return nil, err
 	}
 	c, err := NewClient(conn, opts)
 	if err != nil {
@@ -82,29 +204,13 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 }
 
 // NewClient handshakes over an established connection (tests hand it one
-// end of a pipe). The client owns conn afterwards.
+// end of a pipe). The client owns conn afterwards. Without opts.Redial the
+// client cannot recover from transport failures and fails fast instead.
 func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
-	c := &Client{
-		conn: conn,
-		bw:   bufio.NewWriterSize(conn, 32<<10),
-		fr:   cluster.NewFrameReader(bufio.NewReaderSize(conn, 32<<10)),
-		opts: opts,
-	}
-	c.fw = cluster.NewFrameWriter(c.bw)
-	if err := c.send(&serveEnvelope{Hello: &serveHelloMsg{Version: serveProtocolVersion}}); err != nil {
+	c := &Client{opts: opts, slots: make(map[uint64]selection)}
+	if err := c.handshake(conn); err != nil {
 		return nil, err
 	}
-	var env serveEnvelope
-	if err := c.recv(&env); err != nil {
-		return nil, err
-	}
-	switch {
-	case env.HelloAck == nil:
-		return nil, errors.New("serve: handshake reply is not a hello ack")
-	case env.HelloAck.Err != "":
-		return nil, fmt.Errorf("serve: handshake rejected: %s", env.HelloAck.Err)
-	}
-	c.algorithm = env.HelloAck.Algorithm
 	return c, nil
 }
 
@@ -112,139 +218,413 @@ func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
 // handshake.
 func (c *Client) Algorithm() string { return c.algorithm }
 
-func (c *Client) send(env *serveEnvelope) error {
-	if c.err != nil {
-		return c.err
+// Reconnects returns how many times the client re-established its
+// connection after the initial dial.
+func (c *Client) Reconnects() uint64 { return c.reconnects }
+
+// DroppedFeedback returns how many buffered reports the overload guard
+// discarded because the daemon stayed unreachable past the buffer bound.
+func (c *Client) DroppedFeedback() uint64 { return c.droppedFeedback }
+
+// Degraded reports whether the client is currently serving selections from
+// its local Fallback store instead of the daemon.
+func (c *Client) Degraded() bool { return c.degraded }
+
+// handshake installs conn as the client's transport and runs the hello
+// exchange over it. Rejections are permanent: a daemon from the wrong
+// protocol era will reject every future attempt too.
+func (c *Client) handshake(conn net.Conn) error {
+	c.conn = conn
+	c.bw = bufio.NewWriterSize(conn, 32<<10)
+	c.fw = cluster.NewFrameWriter(c.bw)
+	c.fr = cluster.NewFrameReader(bufio.NewReaderSize(conn, 32<<10))
+	c.connected = true
+	if err := c.send(&serveEnvelope{Hello: &serveHelloMsg{Version: serveProtocolVersion}}); err != nil {
+		c.connected = false
+		return err
 	}
+	var env serveEnvelope
+	if err := c.recv(&env); err != nil {
+		c.connected = false
+		return err
+	}
+	switch {
+	case env.HelloAck == nil:
+		c.connected = false
+		return c.permanent(errors.New("serve: handshake reply is not a hello ack"))
+	case env.HelloAck.Err != "":
+		c.connected = false
+		return c.permanent(fmt.Errorf("serve: handshake rejected: %s", env.HelloAck.Err))
+	}
+	c.algorithm = env.HelloAck.Algorithm
+	return nil
+}
+
+func (c *Client) permanent(err error) error {
+	if c.permErr == nil {
+		c.permErr = err
+	}
+	return c.permErr
+}
+
+func (c *Client) send(env *serveEnvelope) error {
 	if wt := c.opts.frameTimeout(); wt > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
-			return c.fail(err)
+			return err
 		}
 	}
 	if err := c.fw.Encode(env); err != nil {
-		return c.fail(err)
+		return err
 	}
-	if err := c.bw.Flush(); err != nil {
-		return c.fail(err)
-	}
-	return nil
+	return c.bw.Flush()
 }
 
 func (c *Client) recv(env *serveEnvelope) error {
-	if c.err != nil {
-		return c.err
-	}
 	if wt := c.opts.frameTimeout(); wt > 0 {
 		if err := c.conn.SetReadDeadline(time.Now().Add(wt)); err != nil {
-			return c.fail(err)
+			return err
 		}
 	}
-	if err := c.fr.Decode(env); err != nil {
-		return c.fail(err)
+	return c.fr.Decode(env)
+}
+
+func (c *Client) usable() error {
+	switch {
+	case c.permErr != nil:
+		return c.permErr
+	case c.closed:
+		return errors.New("serve: client closed")
 	}
 	return nil
 }
 
-// fail latches the first transport error: a framed-gob stream has no
-// resynchronization point, so the session is unusable after one.
-func (c *Client) fail(err error) error {
-	if c.err == nil {
-		c.err = fmt.Errorf("serve: session dead: %w", err)
+// dropConn tears the connection down after a transport failure and
+// requeues written-but-unconfirmed feedback ahead of the unwritten batch:
+// the daemon may or may not have consumed those frames, and the slot each
+// item carries makes resending the safe default. Without a redialer the
+// failure is terminal, matching the historical fail-fast client.
+func (c *Client) dropConn(cause error) {
+	if c.conn != nil {
+		c.conn.Close()
 	}
-	return c.err
+	c.connected = false
+	if len(c.sent) > 0 {
+		c.batch = append(c.sent, c.batch...)
+		c.sent = nil
+	}
+	c.trimFeedback()
+	if c.opts.Redial == nil {
+		_ = c.permanent(fmt.Errorf("serve: session dead: %w", cause))
+	}
+}
+
+// ensureConn returns with a live handshaken connection or an error for
+// this attempt.
+func (c *Client) ensureConn() error {
+	if c.connected {
+		return nil
+	}
+	if c.permErr != nil {
+		return c.permErr
+	}
+	if c.opts.Redial == nil {
+		return errors.New("serve: disconnected and no redialer configured")
+	}
+	conn, err := c.opts.Redial()
+	if err != nil {
+		return err
+	}
+	if err := c.handshake(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	c.reconnects++
+	return nil
+}
+
+// backoff sleeps before redial attempt try (1-based), doubling from
+// BackoffBase and capping at BackoffMax, jittered to [d/2, d).
+func (c *Client) backoff(try int) {
+	d := c.opts.backoffBase() << uint(try-1)
+	if max := c.opts.backoffMax(); d > max || d <= 0 {
+		d = max
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	time.Sleep(d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1)))
+}
+
+// attempt runs op against a live connection, redialing with backoff after
+// transient failures, up to MaxAttempts tries. A *RequestError returns
+// immediately (the session is fine); a permanent error latches; anything
+// else tears the connection down and retries.
+func (c *Client) attempt(op func() error) error {
+	attempts := c.opts.maxAttempts()
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			c.backoff(try)
+		}
+		if err := c.ensureConn(); err != nil {
+			if c.permErr != nil {
+				return c.permErr
+			}
+			lastErr = err
+			continue
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var req *RequestError
+		if errors.As(err, &req) {
+			return err
+		}
+		c.dropConn(err)
+		if c.permErr != nil {
+			return c.permErr
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("serve: daemon unreachable after %d attempts: %w", attempts, lastErr)
+}
+
+// writeFeedback moves the unwritten batch to the unconfirmed queue and
+// writes it as one frame. The items stay in sent until a response barrier
+// (a Selected or Pong on the same connection) proves the daemon consumed
+// the stream up to them; a disconnect before that requeues them.
+func (c *Client) writeFeedback() error {
+	if len(c.batch) == 0 {
+		return nil
+	}
+	n := len(c.sent)
+	c.sent = append(c.sent, c.batch...)
+	c.batch = c.batch[:0]
+	return c.send(&serveEnvelope{Feedback: &feedbackBatchMsg{Items: c.sent[n:]}})
+}
+
+// trimFeedback enforces the overload guard: when the queued reports exceed
+// the bound, the oldest unwritten ones are dropped and counted.
+func (c *Client) trimFeedback() {
+	over := len(c.batch) + len(c.sent) - c.opts.maxBufferedFeedback()
+	if over <= 0 {
+		return
+	}
+	if over > len(c.batch) {
+		over = len(c.batch)
+	}
+	kept := copy(c.batch, c.batch[over:])
+	c.batch = c.batch[:kept]
+	c.droppedFeedback += uint64(over)
 }
 
 // Select flushes buffered feedback, then asks which arm device should use
-// next. arms must be strictly ascending. A request-level rejection (bad arm
-// set) returns an error but leaves the session usable; transport errors
-// poison the session.
+// next. arms must be strictly ascending. A request-level rejection (bad
+// arm set) returns a *RequestError and leaves the session usable;
+// transport failures reconnect and retry transparently — the store's
+// slot-idempotent Select makes the retry return the same arm — and only
+// after MaxAttempts does the client give up (or degrade to the Fallback
+// store when one is configured).
 func (c *Client) Select(device uint64, arms []int) (int, error) {
-	if err := c.Flush(); err != nil {
+	if err := c.usable(); err != nil {
 		return -1, err
 	}
-	c.seq++
-	if err := c.send(&serveEnvelope{Select: &selectMsg{Seq: c.seq, Device: device, Arms: arms}}); err != nil {
+	if c.degraded {
+		if arm, served, err := c.fallbackSelect(device, arms); served {
+			return arm, err
+		}
+	}
+	var arm int
+	err := c.attempt(func() error {
+		if err := c.writeFeedback(); err != nil {
+			return err
+		}
+		c.seq++
+		if err := c.send(&serveEnvelope{Select: &selectMsg{Seq: c.seq, Device: device, Arms: arms}}); err != nil {
+			return err
+		}
+		for {
+			var env serveEnvelope
+			if err := c.recv(&env); err != nil {
+				return err
+			}
+			switch {
+			case env.Selected != nil:
+				if env.Selected.Seq != c.seq {
+					return fmt.Errorf("response seq %d, want %d", env.Selected.Seq, c.seq)
+				}
+				c.sent = c.sent[:0] // barrier: the daemon consumed everything before this reply
+				if env.Selected.Err != "" {
+					return &RequestError{Msg: "serve: " + env.Selected.Err}
+				}
+				arm = env.Selected.Arm
+				c.slots[device] = selection{slot: env.Selected.Slot}
+				return nil
+			case env.Pong != nil:
+				continue // late keepalive answer; the select response follows
+			default:
+				return errors.New("unexpected frame awaiting selection")
+			}
+		}
+	})
+	if err == nil {
+		return arm, nil
+	}
+	var req *RequestError
+	if errors.As(err, &req) || c.permErr != nil {
 		return -1, err
 	}
-	for {
-		var env serveEnvelope
-		if err := c.recv(&env); err != nil {
-			return -1, err
-		}
-		switch {
-		case env.Selected != nil:
-			if env.Selected.Seq != c.seq {
-				return -1, c.fail(fmt.Errorf("response seq %d, want %d", env.Selected.Seq, c.seq))
-			}
-			if env.Selected.Err != "" {
-				return -1, fmt.Errorf("serve: %s", env.Selected.Err)
-			}
-			return env.Selected.Arm, nil
-		case env.Pong != nil:
-			continue // late keepalive answer; the select response follows
-		default:
-			return -1, c.fail(errors.New("unexpected frame awaiting selection"))
-		}
+	return c.enterFallback(device, arms, err)
+}
+
+// enterFallback switches to degraded local serving after the transport is
+// exhausted, when a Fallback store is configured.
+func (c *Client) enterFallback(device uint64, arms []int, cause error) (int, error) {
+	if c.opts.Fallback == nil {
+		return -1, cause
 	}
+	c.degraded = true
+	c.degradedUntil = time.Now().Add(c.opts.fallbackProbe())
+	arm, _, err := c.fallbackSelect(device, arms)
+	return arm, err
+}
+
+// fallbackSelect serves one selection from the local Fallback store while
+// degraded, probing the daemon at most once per FallbackProbe interval.
+// served=false means a probe just revived the connection and the caller
+// should use the live path instead.
+func (c *Client) fallbackSelect(device uint64, arms []int) (arm int, served bool, err error) {
+	if time.Now().After(c.degradedUntil) {
+		if c.ensureConn() == nil {
+			c.degraded = false
+			return 0, false, nil
+		}
+		c.degradedUntil = time.Now().Add(c.opts.fallbackProbe())
+	}
+	a, slot, err := c.opts.Fallback.Select(device, arms)
+	if err != nil {
+		return -1, true, &RequestError{Msg: err.Error()}
+	}
+	c.slots[device] = selection{slot: slot, local: true}
+	return a, true, nil
 }
 
 // Feedback buffers one reward report; the wire sees it at the next flush
 // (at latest, before the next Select on this connection, which is what
 // makes select-after-feedback ordering hold without a round trip per
-// report).
+// report). Feedback never blocks on a broken transport: reports queue
+// (bounded by MaxBufferedFeedback) and resend after the reconnect. A
+// report for a selection the Fallback store answered applies there
+// directly.
 func (c *Client) Feedback(device uint64, arm int, reward float64) error {
-	if c.err != nil {
-		return c.err
+	if err := c.usable(); err != nil {
+		return err
 	}
-	c.batch = append(c.batch, FeedbackItem{Device: device, Arm: arm, Reward: reward})
-	if len(c.batch) >= c.opts.feedbackBatch() {
-		return c.Flush()
+	sel := c.slots[device]
+	if sel.local {
+		c.opts.Fallback.Feedback(device, arm, sel.slot, reward)
+		return nil
+	}
+	c.batch = append(c.batch, FeedbackItem{Device: device, Arm: arm, Slot: sel.slot, Reward: reward})
+	c.trimFeedback()
+	if len(c.batch)+len(c.sent) >= c.opts.feedbackBatch() && c.connected && !c.degraded {
+		// The eager flush is best-effort: a transport failure just drops
+		// the connection and the reports ride along on the next operation.
+		if err := c.writeFeedback(); err != nil {
+			c.dropConn(err)
+			if c.permErr != nil {
+				return c.permErr
+			}
+		}
 	}
 	return nil
 }
 
-// Flush sends buffered feedback as one frame.
+// Flush writes buffered feedback to the daemon, reconnecting as needed.
+// Delivery is confirmed only by the next response barrier (Select or
+// Ping); a degraded client keeps the reports queued for the next probe.
 func (c *Client) Flush() error {
-	if len(c.batch) == 0 {
-		return c.err
-	}
-	err := c.send(&serveEnvelope{Feedback: &feedbackBatchMsg{Items: c.batch}})
-	c.batch = c.batch[:0]
-	return err
-}
-
-// Release flushes feedback, then retires the given device sessions.
-func (c *Client) Release(devices ...uint64) error {
-	if err := c.Flush(); err != nil {
+	if err := c.usable(); err != nil {
 		return err
 	}
-	return c.send(&serveEnvelope{Release: &releaseMsg{Devices: devices}})
+	if len(c.batch) == 0 || c.degraded {
+		return nil
+	}
+	return c.attempt(c.writeFeedback)
+}
+
+// Release flushes feedback, then retires the given device sessions (on the
+// Fallback store too, when one is configured). A degraded client releases
+// only locally: the daemon-side sessions age out through idle eviction.
+func (c *Client) Release(devices ...uint64) error {
+	if err := c.usable(); err != nil {
+		return err
+	}
+	for _, id := range devices {
+		delete(c.slots, id)
+		if c.opts.Fallback != nil {
+			c.opts.Fallback.Release(id)
+		}
+	}
+	if c.degraded {
+		return nil
+	}
+	return c.attempt(func() error {
+		if err := c.writeFeedback(); err != nil {
+			return err
+		}
+		return c.send(&serveEnvelope{Release: &releaseMsg{Devices: devices}})
+	})
 }
 
 // Ping flushes feedback and round-trips a keepalive, proving the daemon is
-// alive and resetting its idle timer.
+// alive and resetting its idle timer. A successful ping also ends a
+// degraded episode.
 func (c *Client) Ping() error {
-	if err := c.Flush(); err != nil {
+	if err := c.usable(); err != nil {
 		return err
 	}
-	c.pingSeq++
-	if err := c.send(&serveEnvelope{Ping: &servePingMsg{Seq: c.pingSeq}}); err != nil {
-		return err
+	err := c.attempt(func() error {
+		if err := c.writeFeedback(); err != nil {
+			return err
+		}
+		c.pingSeq++
+		if err := c.send(&serveEnvelope{Ping: &servePingMsg{Seq: c.pingSeq}}); err != nil {
+			return err
+		}
+		var env serveEnvelope
+		if err := c.recv(&env); err != nil {
+			return err
+		}
+		if env.Pong == nil || env.Pong.Seq != c.pingSeq {
+			return errors.New("unexpected frame awaiting pong")
+		}
+		c.sent = c.sent[:0] // barrier, as for Select
+		return nil
+	})
+	if err == nil {
+		c.degraded = false
 	}
-	var env serveEnvelope
-	if err := c.recv(&env); err != nil {
-		return err
-	}
-	if env.Pong == nil || env.Pong.Seq != c.pingSeq {
-		return c.fail(errors.New("unexpected frame awaiting pong"))
-	}
-	return nil
+	return err
 }
 
-// Close flushes buffered feedback and closes the connection.
+// Close makes a best-effort final feedback flush and closes the
+// connection. Close is idempotent, including after a permanent failure:
+// repeated calls return nil.
 func (c *Client) Close() error {
-	flushErr := c.Flush()
-	closeErr := c.conn.Close()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var flushErr error
+	if c.permErr == nil && c.connected && !c.degraded {
+		flushErr = c.writeFeedback()
+	}
+	var closeErr error
+	if c.conn != nil {
+		closeErr = c.conn.Close()
+	}
 	if flushErr != nil {
 		return flushErr
 	}

@@ -99,14 +99,14 @@ func FuzzServeRequest(f *testing.F) {
 		// The store survives whatever the connection did: a fresh device
 		// must still select within its arm set.
 		arms := []int{100000, 100001}
-		arm, err := store.Select(1<<60, arms)
+		arm, sl, err := store.Select(1<<60, arms)
 		if err != nil {
 			t.Fatalf("store broken after fuzzed connection: %v", err)
 		}
 		if arm != arms[0] && arm != arms[1] {
 			t.Fatalf("store selected %d outside the arm set after fuzzed connection", arm)
 		}
-		store.Feedback(1<<60, arm, 0.5)
+		store.Feedback(1<<60, arm, sl, 0.5)
 		store.Release(1 << 60)
 	})
 }

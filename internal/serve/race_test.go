@@ -32,7 +32,7 @@ func TestStoreConcurrentSoak(t *testing.T) {
 				if slot%3 == g%3 {
 					dev = uint64(1000 + g) // plus a private id each
 				}
-				arm, err := s.Select(dev, arms)
+				arm, sl, err := s.Select(dev, arms)
 				if err != nil {
 					t.Error(err)
 					return
@@ -49,7 +49,7 @@ func TestStoreConcurrentSoak(t *testing.T) {
 				// Overlapping ids race their feedback on purpose: another
 				// client may have re-selected in between, which the store
 				// must absorb as a dropped report, never a corruption.
-				s.Feedback(dev, arm, reward(dev, arm, slot))
+				s.Feedback(dev, arm, sl, reward(dev, arm, slot))
 				if slot%97 == 0 && dev >= 1000 {
 					s.Release(dev)
 				}

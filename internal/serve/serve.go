@@ -21,13 +21,37 @@
 // never having restarted.
 //
 // Select/Feedback pairing: the store answers a repeated Select for a device
-// with an unanswered selection idempotently (same arm) as long as the arm
-// set is unchanged, so a client that lost a response can simply retry. A
-// Select that changes the arm set while a selection is unanswered settles
-// the outstanding slot as zero gain first — the policy's Select/Observe
-// pairing invariant survives lost feedback. Feedback must name the arm of
-// the outstanding selection; anything else is counted in Dropped and
-// ignored.
+// with an unanswered selection idempotently (same arm, same slot) as long
+// as the arm set is unchanged, so a client that lost a response can simply
+// retry. A Select that changes the arm set while a selection is unanswered
+// settles the outstanding slot as zero gain first — the policy's
+// Select/Observe pairing invariant survives lost feedback. Feedback must
+// name both the arm and the slot of the outstanding selection; anything
+// else is counted in Dropped and ignored. The slot is the recovery
+// cornerstone: it advances only when a selection settles, so a feedback
+// batch resent after a reconnect (the client cannot know whether a frame
+// cut mid-write was consumed) applies at most once even when the same arm
+// was re-chosen in between.
+//
+// Recovery contract (client side): a transport failure — connection cut,
+// frame corrupted (surfaced by the CRC in the frame codec), stall past the
+// frame timeout — is invisible to the caller. The Client redials with
+// capped exponential backoff, replays the handshake, resends
+// written-but-unconfirmed feedback (slot-deduplicated by the store), and
+// re-issues the in-flight Select (answered idempotently). Only handshake
+// rejections are permanent. A session run through an adversarial network
+// is therefore decision-identical to a clean one — the property
+// chaos_test.go drives with internal/chaos. Clients that must answer even
+// with the daemon gone can set ClientOptions.Fallback to degrade to a
+// local in-process store between probes.
+//
+// Eviction: with Config.EvictAfter set, EvictIdle retires device sessions
+// whose last Select or applied Feedback is older than the TTL — the
+// sessions of clients that vanished without Release. Eviction is
+// operationally invisible to determinism: an evicted device that returns
+// re-joins from its per-device root seed exactly like a released one, and
+// idle bookkeeping stays out of snapshots. Config.OnEvict receives each
+// evicted session's final state for callers that archive or audit.
 package serve
 
 import (
@@ -44,7 +68,14 @@ type device struct {
 	policy  *core.SmartEXP3
 	src     *rngutil.Source
 	rng     *rand.Rand
-	pending int // global arm id awaiting Feedback, -1 when none
+	pending int    // global arm id awaiting Feedback, -1 when none
+	slot    uint64 // id of the pending (or next) selection; advances as slots settle
+	// lastTouch is the Config.Clock reading (UnixNano) of the device's most
+	// recent Select or applied Feedback. It is activity bookkeeping, not
+	// decision state: it stays out of snapshots so encoded bytes remain a
+	// pure function of the request history, and it is only maintained when
+	// eviction is enabled so the disabled warm path pays nothing.
+	lastTouch int64
 }
 
 // mix64 is SplitMix64's output function, used to spread device ids across

@@ -152,8 +152,8 @@ func (s *Server) serveConn(conn net.Conn) error {
 		switch {
 		case env.Select != nil:
 			req := env.Select
-			arm, err := s.store.Select(req.Device, req.Arms)
-			resp := &selectedMsg{Seq: req.Seq, Arm: arm}
+			arm, slot, err := s.store.Select(req.Device, req.Arms)
+			resp := &selectedMsg{Seq: req.Seq, Arm: arm, Slot: slot}
 			if err != nil {
 				resp.Err = err.Error()
 			}

@@ -67,7 +67,7 @@ func TestServerEndToEndMatchesDirectStore(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := direct.Select(dev, arms)
+			want, wantSlot, err := direct.Select(dev, arms)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -77,7 +77,7 @@ func TestServerEndToEndMatchesDirectStore(t *testing.T) {
 			if err := c.Feedback(dev, got, reward(dev, got, slot)); err != nil {
 				t.Fatal(err)
 			}
-			direct.Feedback(dev, want, reward(dev, want, slot))
+			direct.Feedback(dev, want, wantSlot, reward(dev, want, slot))
 		}
 	}
 	// The last batch may still be buffered client-side; a Ping flushes it.

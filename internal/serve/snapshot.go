@@ -14,15 +14,21 @@ import (
 )
 
 // snapshotVersion is bumped whenever the snapshot layout changes
-// incompatibly; Restore refuses mismatches loudly.
-const snapshotVersion = 1
+// incompatibly; Restore refuses mismatches loudly. Version 2 added the
+// per-device selection slot (the feedback-dedup cursor): restoring it
+// wrongly-zeroed would let pre-snapshot feedback replayed after a restart
+// double-count, so version 1 files are refused rather than guessed at.
+const snapshotVersion = 2
 
-// deviceSnapshot is one active device session at rest: its policy state
+// DeviceSnapshot is one active device session at rest: its policy state
 // verbatim (core.PolicyState preserves every derived view bit for bit, see
-// that type's doc) plus its generator cursor and the unanswered selection.
-type deviceSnapshot struct {
+// that type's doc) plus its generator cursor, the unanswered selection, and
+// the selection slot. Exported so Config.OnEvict can hand the caller an
+// evicted device's final state in the same shape snapshots use.
+type DeviceSnapshot struct {
 	Device  uint64
 	Pending int
+	Slot    uint64
 	Rng     rngutil.SourceState
 	State   core.PolicyState
 }
@@ -36,7 +42,7 @@ type Snapshot struct {
 	Algorithm core.Algorithm
 	Seed      int64
 	Dropped   uint64
-	Devices   []deviceSnapshot
+	Devices   []DeviceSnapshot
 }
 
 // Snapshot captures every active device session. Shards are locked one at a
@@ -55,7 +61,7 @@ func (s *Store) Snapshot() *Snapshot {
 		sh := &s.shards[si]
 		sh.mu.Lock()
 		for id, dev := range sh.devices {
-			ds := deviceSnapshot{Device: id, Pending: dev.pending, Rng: dev.src.State()}
+			ds := DeviceSnapshot{Device: id, Pending: dev.pending, Slot: dev.slot, Rng: dev.src.State()}
 			dev.policy.ExportState(&ds.State)
 			sn.Devices = append(sn.Devices, ds)
 		}
@@ -135,7 +141,16 @@ func (s *Store) Restore(sn *Snapshot) error {
 		if err := sp.ImportState(&ds.State, rng); err != nil {
 			return fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
 		}
-		restored[i] = &device{policy: sp, src: src, rng: rng, pending: ds.Pending}
+		restored[i] = &device{policy: sp, src: src, rng: rng, pending: ds.Pending, slot: ds.Slot}
+	}
+	if s.cfg.EvictAfter > 0 {
+		// Idle age does not survive a restart (lastTouch is bookkeeping, not
+		// snapshot state): restored sessions count as just-touched, so a
+		// sweep right after boot cannot mass-evict everything we restored.
+		now := s.cfg.Clock().UnixNano()
+		for _, dev := range restored {
+			dev.lastTouch = now
+		}
 	}
 	for si := range s.shards {
 		sh := &s.shards[si]

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // script is a deterministic request sequence with availability churn and a
@@ -21,7 +22,7 @@ func runScript(t *testing.T, s *Store, from, to int) []int {
 	for slot := from; slot < to; slot++ {
 		for _, dev := range devices {
 			arms := armSets[(slot/40+int(dev))%len(armSets)]
-			arm, err := s.Select(dev, arms)
+			arm, sl, err := s.Select(dev, arms)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -31,7 +32,7 @@ func runScript(t *testing.T, s *Store, from, to int) []int {
 			if dev == 8 && slot%50 == 49 {
 				continue
 			}
-			s.Feedback(dev, arm, reward(dev, arm, slot))
+			s.Feedback(dev, arm, sl, reward(dev, arm, slot))
 		}
 		if slot == 90 {
 			s.Release(8) // churn: device 8 re-joins from its root seed
@@ -99,6 +100,24 @@ func TestSnapshotRestoreIsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSnapshotBytesIndependentOfEviction pins lastTouch out of the
+// snapshot format: idle bookkeeping is operational state, and two stores
+// with the same request history must encode identical bytes whether or not
+// eviction is configured.
+func TestSnapshotBytesIndependentOfEviction(t *testing.T) {
+	plain := newTestStore(t, Config{})
+	runScript(t, plain, 0, 60)
+	now := time.Unix(7777, 0)
+	evicting := newTestStore(t, Config{
+		EvictAfter: time.Hour,
+		Clock:      func() time.Time { now = now.Add(time.Second); return now },
+	})
+	runScript(t, evicting, 0, 60)
+	if !bytes.Equal(encodeSnapshot(t, plain), encodeSnapshot(t, evicting)) {
+		t.Fatal("idle bookkeeping leaked into the snapshot bytes")
+	}
+}
+
 func TestSnapshotFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "state.snap")
@@ -140,7 +159,7 @@ func TestRestoreRejectsMismatchedIdentity(t *testing.T) {
 	// A corrupt device record must fail ReadSnapshot before Restore can
 	// half-apply it.
 	corrupt := *sn
-	corrupt.Devices = append([]deviceSnapshot(nil), sn.Devices...)
+	corrupt.Devices = append([]DeviceSnapshot(nil), sn.Devices...)
 	corrupt.Devices[0].State.Cur = 99
 	var buf bytes.Buffer
 	if err := corrupt.Encode(&buf); err != nil {

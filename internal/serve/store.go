@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smartexp3/internal/core"
 	"smartexp3/internal/rngutil"
@@ -34,6 +35,24 @@ type Config struct {
 	// MaxArms bounds a request's arm set (wire-level hostility guard).
 	// Zero means 1024.
 	MaxArms int
+	// EvictAfter enables idle-device eviction: a device that has seen no
+	// Select or applied Feedback for at least this long is retired by the
+	// next EvictIdle sweep, exactly as if its client had called Release —
+	// a later Select for the same id starts a fresh session from the
+	// device's root seed, so replays that include the eviction still
+	// agree. Zero disables eviction entirely (no idle bookkeeping, no
+	// sweep work).
+	EvictAfter time.Duration
+	// Clock supplies the time base for idle tracking. Zero means time.Now.
+	// Injected so eviction tests (and replays of them) drive a fake clock
+	// deterministically instead of sleeping.
+	Clock func() time.Time
+	// OnEvict, when set, receives each evicted device's final state before
+	// the session is retired — the snapshot-before-evict hook that lets an
+	// operator archive long-idle learners instead of discarding them. It
+	// is called outside the shard lock, after the device is already gone
+	// from the store; calling back into the store is safe.
+	OnEvict func(DeviceSnapshot)
 }
 
 const defaultMaxArms = 1024
@@ -58,6 +77,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxArms <= 0 {
 		c.MaxArms = defaultMaxArms
 	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
 }
 
@@ -78,6 +100,7 @@ type Store struct {
 	mask    uint64
 	devices atomic.Int64  // active device sessions
 	dropped atomic.Uint64 // feedback/slots discarded for not matching a pending selection
+	evicted atomic.Uint64 // sessions retired by idle eviction
 }
 
 // NewStore builds an empty store. The algorithm is validated eagerly — a
@@ -115,16 +138,23 @@ func (s *Store) shardIndex(deviceID uint64) uint64 { return mix64(deviceID) & s.
 // Select answers "which arm now?" for one device. arms must be non-empty,
 // strictly ascending and within the configured MaxArms. A new device id
 // creates a session (pooled when possible); a repeated Select with the same
-// arms and no intervening Feedback returns the same arm idempotently.
-func (s *Store) Select(deviceID uint64, arms []int) (int, error) {
+// arms and no intervening Feedback returns the same arm — and the same slot
+// — idempotently, which is what lets a client that lost the response simply
+// ask again after a reconnect.
+//
+// The returned slot names this selection: it advances only when the
+// selection settles (Feedback applied, or abandoned by an arm-set change).
+// Feedback must quote it back, so a report duplicated across a reconnect
+// cannot credit a later selection that happens to pick the same arm.
+func (s *Store) Select(deviceID uint64, arms []int) (int, uint64, error) {
 	if len(arms) == 0 {
-		return -1, fmt.Errorf("serve: device %d: empty arm set", deviceID)
+		return -1, 0, fmt.Errorf("serve: device %d: empty arm set", deviceID)
 	}
 	if len(arms) > s.cfg.MaxArms {
-		return -1, fmt.Errorf("serve: device %d: %d arms exceeds the %d limit", deviceID, len(arms), s.cfg.MaxArms)
+		return -1, 0, fmt.Errorf("serve: device %d: %d arms exceeds the %d limit", deviceID, len(arms), s.cfg.MaxArms)
 	}
 	if !ascendingArms(arms) {
-		return -1, fmt.Errorf("serve: device %d: arms must be strictly ascending", deviceID)
+		return -1, 0, fmt.Errorf("serve: device %d: arms must be strictly ascending", deviceID)
 	}
 	sh := &s.shards[s.shardIndex(deviceID)]
 	sh.mu.Lock()
@@ -133,20 +163,24 @@ func (s *Store) Select(deviceID uint64, arms []int) (int, error) {
 	if dev == nil {
 		var err error
 		if dev, err = s.acquire(sh, deviceID, arms); err != nil {
-			return -1, err
+			return -1, 0, err
 		}
 		sh.devices[deviceID] = dev
 		s.devices.Add(1)
 	}
+	if s.cfg.EvictAfter > 0 {
+		dev.lastTouch = s.cfg.Clock().UnixNano()
+	}
 	if dev.pending >= 0 {
 		if equalArms(dev.policy.Available(), arms) {
-			return dev.pending, nil // lost-response retry: same slot, same arm
+			return dev.pending, dev.slot, nil // lost-response retry: same slot, same arm
 		}
 		// The arm set moved under an unanswered selection. Settle the
 		// outstanding slot as zero gain so Select/Observe stay paired,
 		// then fall through to a fresh selection over the new set.
 		dev.policy.Observe(0)
 		dev.pending = -1
+		dev.slot++
 		s.dropped.Add(1)
 	}
 	if !equalArms(dev.policy.Available(), arms) {
@@ -154,7 +188,7 @@ func (s *Store) Select(deviceID uint64, arms []int) (int, error) {
 	}
 	arm := dev.policy.Select()
 	dev.pending = arm
-	return arm, nil
+	return arm, dev.slot, nil
 }
 
 // acquire produces a device session for deviceID, reusing a pooled one when
@@ -168,6 +202,8 @@ func (s *Store) acquire(sh *shard, deviceID uint64, arms []int) (*device, error)
 		dev.src.Seed(seed)
 		dev.policy.Reinit(arms, dev.rng)
 		dev.pending = -1
+		dev.slot = 0
+		dev.lastTouch = 0
 		return dev, nil
 	}
 	src := rngutil.NewSource(seed)
@@ -183,25 +219,31 @@ func (s *Store) acquire(sh *shard, deviceID uint64, arms []int) (*device, error)
 	return &device{policy: sp, src: src, rng: rng, pending: -1}, nil
 }
 
-// Feedback reports the reward of the outstanding selection for deviceID.
-// It returns true when the report was applied; a report for an unknown
-// device or a non-pending arm is counted in Dropped and ignored, so
-// duplicated or reordered feedback cannot double-count a slot.
-func (s *Store) Feedback(deviceID uint64, arm int, reward float64) bool {
+// Feedback reports the reward of the outstanding selection for deviceID,
+// quoting the slot that Select returned alongside the arm. It returns true
+// when the report was applied; a report for an unknown device, a
+// non-pending arm, or a settled slot is counted in Dropped and ignored —
+// so feedback duplicated, reordered, or replayed across a reconnect cannot
+// double-count a slot even when a later selection picks the same arm.
+func (s *Store) Feedback(deviceID uint64, arm int, slot uint64, reward float64) bool {
 	sh := &s.shards[s.shardIndex(deviceID)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return s.feedbackLocked(sh, deviceID, arm, reward)
+	return s.feedbackLocked(sh, deviceID, arm, slot, reward)
 }
 
-func (s *Store) feedbackLocked(sh *shard, deviceID uint64, arm int, reward float64) bool {
+func (s *Store) feedbackLocked(sh *shard, deviceID uint64, arm int, slot uint64, reward float64) bool {
 	dev := sh.devices[deviceID]
-	if dev == nil || dev.pending != arm {
+	if dev == nil || dev.pending != arm || dev.slot != slot {
 		s.dropped.Add(1)
 		return false
 	}
+	if s.cfg.EvictAfter > 0 {
+		dev.lastTouch = s.cfg.Clock().UnixNano()
+	}
 	dev.policy.Observe(reward) // core clamps to [0,1]
 	dev.pending = -1
+	dev.slot++
 	return true
 }
 
@@ -209,6 +251,7 @@ func (s *Store) feedbackLocked(sh *shard, deviceID uint64, arm int, reward float
 type FeedbackItem struct {
 	Device uint64
 	Arm    int
+	Slot   uint64
 	Reward float64
 }
 
@@ -233,7 +276,7 @@ func (s *Store) ApplyBatch(items []FeedbackItem) int {
 				sh.mu.Lock()
 				locked = true
 			}
-			if s.feedbackLocked(sh, it.Device, it.Arm, it.Reward) {
+			if s.feedbackLocked(sh, it.Device, it.Arm, it.Slot, it.Reward) {
 				applied++
 			}
 			remaining--
@@ -261,4 +304,58 @@ func (s *Store) Release(deviceID uint64) bool {
 	sh.free = append(sh.free, dev)
 	s.devices.Add(-1)
 	return true
+}
+
+// Evicted returns how many device sessions idle-eviction sweeps have
+// retired over the store's lifetime.
+func (s *Store) Evicted() uint64 { return s.evicted.Load() }
+
+// EvictIdle retires every device whose last Select or applied Feedback is
+// at least Config.EvictAfter in the past, as read from Config.Clock, and
+// returns how many were evicted. Eviction is exactly a Release the client
+// never sent: the session's policy state returns to the shard pool and a
+// later Select for the same id starts fresh from the device's root seed —
+// so a replay that includes the eviction still decides identically. With
+// Config.OnEvict set, each evicted device's final state is delivered there
+// first (captured under the shard lock, delivered after it), preserving
+// the snapshot-before-evict contract. A zero EvictAfter makes the sweep a
+// no-op, matching the disabled bookkeeping.
+//
+// Shards are swept one at a time, so service continues on the others; a
+// device touched between the sweep's clock reading and its shard's turn is
+// safe — staleness is re-checked under the shard lock.
+func (s *Store) EvictIdle() int {
+	if s.cfg.EvictAfter <= 0 {
+		return 0
+	}
+	cutoff := s.cfg.Clock().Add(-s.cfg.EvictAfter).UnixNano()
+	evicted := 0
+	var snaps []DeviceSnapshot
+	for si := range s.shards {
+		sh := &s.shards[si]
+		snaps = snaps[:0]
+		sh.mu.Lock()
+		for id, dev := range sh.devices {
+			if dev.lastTouch > cutoff {
+				continue
+			}
+			if s.cfg.OnEvict != nil {
+				ds := DeviceSnapshot{Device: id, Pending: dev.pending, Slot: dev.slot, Rng: dev.src.State()}
+				dev.policy.ExportState(&ds.State)
+				snaps = append(snaps, ds)
+			}
+			delete(sh.devices, id)
+			sh.free = append(sh.free, dev)
+			s.devices.Add(-1)
+			evicted++
+		}
+		sh.mu.Unlock()
+		for i := range snaps {
+			s.cfg.OnEvict(snaps[i])
+		}
+	}
+	if evicted > 0 {
+		s.evicted.Add(uint64(evicted))
+	}
+	return evicted
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"smartexp3/internal/core"
 )
@@ -39,11 +40,11 @@ func drive(t testing.TB, s *Store, devices []uint64, arms []int, slots int) []in
 	var out []int
 	for slot := 0; slot < slots; slot++ {
 		for _, dev := range devices {
-			arm, err := s.Select(dev, arms)
+			arm, sl, err := s.Select(dev, arms)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !s.Feedback(dev, arm, reward(dev, arm, slot)) {
+			if !s.Feedback(dev, arm, sl, reward(dev, arm, slot)) {
 				t.Fatalf("slot %d device %d: feedback for pending arm %d not applied", slot, dev, arm)
 			}
 			out = append(out, arm)
@@ -98,11 +99,11 @@ func TestStoreDevicesAreIndependentStreams(t *testing.T) {
 	var got []int
 	for slot := 0; slot < 120; slot++ {
 		for _, dev := range []uint64{11, 5, 23} {
-			arm, err := crowded.Select(dev, arms)
+			arm, sl, err := crowded.Select(dev, arms)
 			if err != nil {
 				t.Fatal(err)
 			}
-			crowded.Feedback(dev, arm, reward(dev, arm, slot))
+			crowded.Feedback(dev, arm, sl, reward(dev, arm, slot))
 			if dev == 5 {
 				got = append(got, arm)
 			}
@@ -118,50 +119,70 @@ func TestStoreDevicesAreIndependentStreams(t *testing.T) {
 func TestStoreSelectIsIdempotentUntilFeedback(t *testing.T) {
 	s := newTestStore(t, Config{})
 	arms := []int{1, 2, 3}
-	first, err := s.Select(9, arms)
+	first, firstSlot, err := s.Select(9, arms)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		again, err := s.Select(9, arms)
+		again, slotAgain, err := s.Select(9, arms)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if again != first {
-			t.Fatalf("retry %d re-selected %d, want the pending arm %d", i, again, first)
+		if again != first || slotAgain != firstSlot {
+			t.Fatalf("retry %d re-selected arm %d slot %d, want the pending arm %d slot %d",
+				i, again, slotAgain, first, firstSlot)
 		}
 	}
 	if d := s.Dropped(); d != 0 {
 		t.Fatalf("idempotent retries counted as %d drops", d)
 	}
-	if !s.Feedback(9, first, 0.5) {
+	if !s.Feedback(9, first, firstSlot, 0.5) {
 		t.Fatal("feedback for the pending arm was not applied")
 	}
-	if s.Feedback(9, first, 0.5) {
+	if s.Feedback(9, first, firstSlot, 0.5) {
 		t.Fatal("duplicate feedback was applied twice")
 	}
 	if d := s.Dropped(); d != 1 {
 		t.Fatalf("duplicate feedback counted as %d drops, want 1", d)
 	}
+	// The next selection reuses the arm space but not the slot: stale
+	// feedback quoting the settled slot must not credit it, even when the
+	// policy picks the same arm again.
+	next, nextSlot, err := s.Select(9, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nextSlot == firstSlot {
+		t.Fatalf("new selection reused slot %d", firstSlot)
+	}
+	if s.Feedback(9, next, firstSlot, 0.5) {
+		t.Fatal("feedback quoting a settled slot was applied")
+	}
+	if !s.Feedback(9, next, nextSlot, 0.5) {
+		t.Fatal("feedback for the new slot was not applied")
+	}
 }
 
 func TestStoreSelectSettlesAbandonedSlotOnArmChange(t *testing.T) {
 	s := newTestStore(t, Config{})
-	if _, err := s.Select(4, []int{1, 2, 3}); err != nil {
+	if _, _, err := s.Select(4, []int{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	// No feedback arrives; the device moves and the arm set changes.
-	arm, err := s.Select(4, []int{2, 3, 7})
+	arm, sl, err := s.Select(4, []int{2, 3, 7})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if arm != 2 && arm != 3 && arm != 7 {
 		t.Fatalf("re-selection returned arm %d outside the new arm set", arm)
 	}
+	if sl != 1 {
+		t.Fatalf("abandoned slot did not advance the cursor: slot %d, want 1", sl)
+	}
 	if d := s.Dropped(); d != 1 {
 		t.Fatalf("abandoned slot counted as %d drops, want 1", d)
 	}
-	if !s.Feedback(4, arm, 0.9) {
+	if !s.Feedback(4, arm, sl, 0.9) {
 		t.Fatal("feedback after the arm change was not applied")
 	}
 }
@@ -179,7 +200,7 @@ func TestStoreValidatesRequests(t *testing.T) {
 		{"too many", []int{1, 2, 3, 4, 5}, "exceeds"},
 	}
 	for _, tc := range cases {
-		if _, err := s.Select(1, tc.arms); err == nil || !strings.Contains(err.Error(), tc.want) {
+		if _, _, err := s.Select(1, tc.arms); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Fatalf("%s: got error %v, want containing %q", tc.name, err, tc.want)
 		}
 	}
@@ -220,11 +241,11 @@ func TestStoreApplyBatchLocksEachShardOnce(t *testing.T) {
 	arms := []int{1, 2}
 	items := make([]FeedbackItem, 0, len(devices))
 	for _, dev := range devices {
-		arm, err := s.Select(dev, arms)
+		arm, sl, err := s.Select(dev, arms)
 		if err != nil {
 			t.Fatal(err)
 		}
-		items = append(items, FeedbackItem{Device: dev, Arm: arm, Reward: 0.5})
+		items = append(items, FeedbackItem{Device: dev, Arm: arm, Slot: sl, Reward: 0.5})
 	}
 	// One report for a device that never selected: it must be counted
 	// dropped, not applied.
@@ -247,11 +268,11 @@ func TestStoreWarmSelectDoesNotAllocate(t *testing.T) {
 	drive(t, s, []uint64{6}, arms, 300) // warm: past explore-first and pool growth
 	slot := 1000
 	allocs := testing.AllocsPerRun(200, func() {
-		arm, err := s.Select(6, arms)
+		arm, sl, err := s.Select(6, arms)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Feedback(6, arm, reward(6, arm, slot))
+		s.Feedback(6, arm, sl, reward(6, arm, slot))
 		slot++
 	})
 	if allocs > 1 {
@@ -265,20 +286,107 @@ func TestStoreChurnIsAllocationFreeWarm(t *testing.T) {
 	s := newTestStore(t, Config{Shards: 1})
 	arms := []int{1, 2, 3}
 	// Prime the pool with one retiree.
-	if _, err := s.Select(1, arms); err != nil {
+	if _, _, err := s.Select(1, arms); err != nil {
 		t.Fatal(err)
 	}
 	s.Release(1)
 	allocs := testing.AllocsPerRun(100, func() {
-		arm, err := s.Select(2, arms)
+		arm, sl, err := s.Select(2, arms)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.Feedback(2, arm, 0.5)
+		s.Feedback(2, arm, sl, 0.5)
 		s.Release(2)
 	})
 	if allocs > 0 {
 		t.Fatalf("warm churn allocates %.1f times per join-leave cycle, want 0", allocs)
+	}
+}
+
+// TestStoreEvictIdleRetiresStaleDevices pins the TTL sweep: only devices
+// idle past EvictAfter go, OnEvict sees their final state first, and a
+// re-joining evicted device replays deterministically from its root seed —
+// eviction is exactly a Release the client never sent.
+func TestStoreEvictIdleRetiresStaleDevices(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var evicted []DeviceSnapshot
+	s := newTestStore(t, Config{
+		Shards:     2,
+		EvictAfter: time.Minute,
+		Clock:      func() time.Time { return now },
+		OnEvict:    func(ds DeviceSnapshot) { evicted = append(evicted, ds) },
+	})
+	arms := []int{1, 2, 3}
+	first := drive(t, s, []uint64{10}, arms, 30)
+	// Leave device 10 with an unanswered selection crossing the eviction.
+	if _, _, err := s.Select(10, arms); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(50 * time.Second)
+	drive(t, s, []uint64{11}, arms, 1) // device 11 stays fresh
+	if n := s.EvictIdle(); n != 0 {
+		t.Fatalf("sweep evicted %d devices before the TTL", n)
+	}
+	now = now.Add(20 * time.Second) // device 10 idle 70s, device 11 idle 20s
+	if n := s.EvictIdle(); n != 1 {
+		t.Fatalf("sweep evicted %d devices, want 1", n)
+	}
+	if got := s.Evicted(); got != 1 {
+		t.Fatalf("Evicted() = %d, want 1", got)
+	}
+	if n := s.Devices(); n != 1 {
+		t.Fatalf("store tracks %d devices after eviction, want 1", n)
+	}
+	if len(evicted) != 1 || evicted[0].Device != 10 {
+		t.Fatalf("OnEvict saw %+v, want device 10", evicted)
+	}
+	if evicted[0].Pending < 0 {
+		t.Fatal("OnEvict lost the unanswered selection")
+	}
+	if err := evicted[0].State.Validate(); err != nil {
+		t.Fatalf("OnEvict delivered invalid policy state: %v", err)
+	}
+	// The evicted id re-joins: same script, same decisions as the first
+	// session — the determinism contract survives the eviction.
+	second := drive(t, s, []uint64{10}, arms, 30)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("slot %d: pre-eviction session chose %d, re-joined session chose %d", i, first[i], second[i])
+		}
+	}
+}
+
+// TestStoreEvictIdleDisabledIsNoOp pins the zero-cost default: without
+// EvictAfter the sweep does nothing and no idle bookkeeping runs.
+func TestStoreEvictIdleDisabledIsNoOp(t *testing.T) {
+	s := newTestStore(t, Config{})
+	drive(t, s, []uint64{1, 2}, []int{1, 2}, 5)
+	if n := s.EvictIdle(); n != 0 {
+		t.Fatalf("disabled sweep evicted %d devices", n)
+	}
+	if n := s.Devices(); n != 2 {
+		t.Fatalf("store tracks %d devices, want 2", n)
+	}
+}
+
+// TestStoreWarmSelectDoesNotAllocateWithEviction holds the zero-alloc warm
+// path with idle bookkeeping enabled: the lastTouch stamp must not cost an
+// allocation.
+func TestStoreWarmSelectDoesNotAllocateWithEviction(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 2, EvictAfter: time.Hour})
+	arms := []int{1, 2, 3, 4}
+	drive(t, s, []uint64{6}, arms, 300)
+	slot := 1000
+	allocs := testing.AllocsPerRun(200, func() {
+		arm, sl, err := s.Select(6, arms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Feedback(6, arm, sl, reward(6, arm, slot))
+		slot++
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Select+Feedback with eviction enabled allocates %.1f times per op, want 0", allocs)
 	}
 }
 

@@ -8,8 +8,10 @@ package serve
 // barrier for the feedback sent before it.
 
 // serveProtocolVersion is bumped whenever the serve message set changes
-// incompatibly. Handshake refuses mismatches.
-const serveProtocolVersion = 1
+// incompatibly. Handshake refuses mismatches. Version 2 added the
+// selection slot to selectedMsg and FeedbackItem — the dedup cursor that
+// makes feedback resent across a reconnect safe to apply at most once.
+const serveProtocolVersion = 2
 
 // serveEnvelope is the one-of union every serve frame carries.
 type serveEnvelope struct {
@@ -46,11 +48,14 @@ type selectMsg struct {
 }
 
 // selectedMsg answers a selectMsg. A non-empty Err is a property of the
-// request (bad arm set), not the connection: the session continues.
+// request (bad arm set), not the connection: the session continues. Slot
+// is the store's id for this selection; the client quotes it back in the
+// matching FeedbackItem so resent feedback cannot double-count.
 type selectedMsg struct {
-	Seq uint64
-	Arm int
-	Err string
+	Seq  uint64
+	Arm  int
+	Slot uint64
+	Err  string
 }
 
 // feedbackBatchMsg carries buffered reward reports. There is no reply —
