@@ -15,13 +15,24 @@
 // daemon's memory by its active fleet rather than its lifetime. Eviction
 // does not bend determinism: an evicted device that comes back re-joins
 // from its per-device root seed, exactly like a device the client released.
+// -evict-every tunes the sweep cadence (default: a quarter of -evict-idle).
+//
+// With -debug-addr set, the daemon serves its instrumentation on a second,
+// private listener: Prometheus text on /metrics, a JSON snapshot on /varz,
+// and the pprof profiles on /debug/pprof/. Metrics are observation-only —
+// the decisions served are bit-identical with or without the flag — and the
+// hot path stays allocation-free with them enabled. -metrics-log-every adds
+// a periodic structured log line of counter deltas for fleets that scrape
+// logs rather than endpoints.
 //
 // Usage:
 //
 //	served                                  # listen on 127.0.0.1:9632
 //	served -listen 0.0.0.0:9632 -alg smart  # serve Smart EXP3 to the network
 //	served -snapshot /var/lib/served.snap -snapshot-every 5m
-//	served -evict-idle 1h                   # retire sessions idle > 1 hour
+//	served -evict-idle 1h -evict-every 10m  # retire sessions idle > 1 hour
+//	served -debug-addr 127.0.0.1:9633       # /metrics, /varz, /debug/pprof/
+//	served -metrics-log-every 1m            # periodic metrics delta log line
 //
 // The protocol is unauthenticated and unencrypted (stdlib gob over TCP):
 // run served only on networks where every peer is trusted, exactly like
@@ -33,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -40,6 +52,7 @@ import (
 	"time"
 
 	"smartexp3/internal/core"
+	"smartexp3/internal/obsv"
 	"smartexp3/internal/serve"
 )
 
@@ -72,6 +85,8 @@ func run(args []string) error {
 		every    = fs.Duration("snapshot-every", 0, "also checkpoint the state file at this interval (requires -snapshot)")
 		evict    = fs.Duration("evict-idle", 0, "retire device sessions idle longer than this (0 disables; evicted devices re-join from their seed)")
 		sweepEvy = fs.Duration("evict-every", 0, "idle-eviction sweep interval (default evict-idle/4, requires -evict-idle)")
+		debug    = fs.String("debug-addr", "", "serve /metrics, /varz and /debug/pprof/ on this address (empty disables)")
+		logEvery = fs.Duration("metrics-log-every", 0, "emit a structured metrics-delta log line at this interval (0 disables)")
 		quiet    = fs.Bool("quiet", false, "suppress log lines")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -119,12 +134,30 @@ func run(args []string) error {
 		}
 	}
 
+	// Instrumentation is built only when something will consume it: the
+	// debug listener, the periodic delta log, or both share one registry.
+	var reg *obsv.Registry
+	srvOpts := serve.ServerOptions{}
+	if *debug != "" || *logEvery > 0 {
+		reg = obsv.NewRegistry()
+		store.Instrument(reg)
+		srvOpts.Metrics = serve.NewServerMetrics(reg)
+	}
+	if *debug != "" {
+		ds, err := obsv.ListenAndServe(*debug, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		logf("debug endpoints on http://%s/ (/metrics, /varz, /debug/pprof/)", ds.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	srv := serve.NewServer(store, serve.ServerOptions{})
+	srv := serve.NewServer(store, srvOpts)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -133,6 +166,10 @@ func run(args []string) error {
 	// can tell an orderly signal exit from a transport failure without a
 	// race.
 	shutdown := make(chan struct{})
+	if *logEvery > 0 {
+		dl := obsv.NewDeltaLogger(reg, slog.New(slog.NewTextHandler(os.Stderr, nil)))
+		go dl.Run(*logEvery, shutdown)
+	}
 	go func() {
 		var tick <-chan time.Time
 		if *every > 0 {

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"smartexp3/internal/obsv"
 	"smartexp3/internal/serve"
 )
 
@@ -216,5 +221,119 @@ func TestRunEvictsIdleDevicesDeterministically(t *testing.T) {
 			t.Fatalf("selection %d after eviction: daemon chose %d, a from-seed replay chooses %d — the idle session survived or resumed dirty",
 				i, again[i], fresh[i])
 		}
+	}
+}
+
+// freePort reserves an ephemeral loopback address and releases it for the
+// daemon to bind.
+func freePort(t *testing.T) string {
+	t.Helper()
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+	return addr
+}
+
+// TestRunDebugEndpointServesMetrics is the acceptance check for the debug
+// listener: boot with -debug-addr, drive real traffic, and the /metrics
+// scrape must be parseable Prometheus text carrying the select count, the
+// select-latency histogram, the eviction count, and the connection count —
+// with /varz and /debug/pprof/ alive on the same listener.
+func TestRunDebugEndpointServesMetrics(t *testing.T) {
+	debugAddr := freePort(t)
+	addr, errCh := bootDaemon(t,
+		"-debug-addr", debugAddr,
+		"-evict-idle", "150ms", "-evict-every", "25ms")
+	defer func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("SIGTERM exit: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit on SIGTERM")
+		}
+	}()
+
+	// 70 slots per device crosses the 1-in-64 latency sampler however the
+	// devices hash across shards.
+	driveDaemon(t, addr, 0, 70)
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get("http://" + debugAddr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obsv.CheckPrometheusText(bytes.NewReader(body)); err != nil {
+			t.Fatalf("/metrics not parseable Prometheus text: %v\n%s", err, body)
+		}
+		return string(body)
+	}
+
+	text := scrape()
+	for _, want := range []string{
+		"serve_select_total 140",
+		"serve_select_latency_ns_count",
+		// 2: bootDaemon's readiness probe plus driveDaemon's client.
+		"serve_connections_total 2",
+		"serve_devices_evicted_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "serve_select_latency_ns_bucket") {
+		t.Errorf("select latency histogram has no samples on /metrics:\n%s", text)
+	}
+
+	// Let the sweeper retire the idle devices, then confirm the eviction
+	// counter moves on the scrape.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if strings.Contains(scrape(), "serve_devices_evicted_total 2") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("eviction count never reached 2 on /metrics")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var varz map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&varz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/varz not JSON: %v", err)
+	}
+	if varz["serve_select_total"].(float64) != 140 {
+		t.Fatalf("/varz serve_select_total = %v, want 140", varz["serve_select_total"])
+	}
+
+	resp, err = http.Get("http://" + debugAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
 	}
 }

@@ -18,6 +18,13 @@
 //	shardd                         # listen on 127.0.0.1:9631
 //	shardd -listen 0.0.0.0:9631    # accept coordinators from the network
 //	shardd -workers 8              # bound per-connection parallelism
+//	shardd -debug-addr :9634       # /metrics, /varz, /debug/pprof/
+//
+// With -debug-addr set, the worker serves its instrumentation (sessions,
+// jobs, ranges, runs, wire frames and bytes, per-range latency, pool
+// utilization) on a second HTTP listener; -metrics-log-every instead (or
+// additionally) logs a structured delta line at that interval. Metrics are
+// observation-only: results are bit-identical with or without them.
 //
 // The protocol is unauthenticated and unencrypted (stdlib gob over TCP):
 // run shardd only on networks where every peer is trusted, exactly like a
@@ -28,10 +35,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 
 	"smartexp3/internal/cluster"
+	"smartexp3/internal/obsv"
+	"smartexp3/internal/runner"
 )
 
 func main() {
@@ -44,23 +54,42 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("shardd", flag.ContinueOnError)
 	var (
-		listen  = fs.String("listen", "127.0.0.1:9631", "address to accept coordinator connections on")
-		workers = fs.Int("workers", 0, "parallelism per coordinator connection (default: GOMAXPROCS)")
-		quiet   = fs.Bool("quiet", false, "suppress per-connection log lines")
+		listen   = fs.String("listen", "127.0.0.1:9631", "address to accept coordinator connections on")
+		workers  = fs.Int("workers", 0, "parallelism per coordinator connection (default: GOMAXPROCS)")
+		debug    = fs.String("debug-addr", "", "serve /metrics, /varz and /debug/pprof/ on this address (empty disables)")
+		logEvery = fs.Duration("metrics-log-every", 0, "emit a structured metrics-delta log line at this interval (0 disables)")
+		quiet    = fs.Bool("quiet", false, "suppress per-connection log lines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger := log.New(os.Stderr, "shardd: ", log.LstdFlags)
+	opts := cluster.WorkerOptions{Workers: *workers}
+	if !*quiet {
+		opts.Logf = logger.Printf
+	}
+	if *debug != "" || *logEvery > 0 {
+		reg := obsv.NewRegistry()
+		runner.Instrument(reg)
+		opts.Metrics = cluster.NewWorkerMetrics(reg)
+		if *debug != "" {
+			ds, err := obsv.ListenAndServe(*debug, reg)
+			if err != nil {
+				return err
+			}
+			defer ds.Close()
+			logger.Printf("debug endpoints on http://%s/ (/metrics, /varz, /debug/pprof/)", ds.Addr())
+		}
+		if *logEvery > 0 {
+			dl := obsv.NewDeltaLogger(reg, slog.New(slog.NewTextHandler(os.Stderr, nil)))
+			go dl.Run(*logEvery, nil)
+		}
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	logger := log.New(os.Stderr, "shardd: ", log.LstdFlags)
-	opts := cluster.WorkerOptions{Workers: *workers}
-	if !*quiet {
-		opts.Logf = logger.Printf
-	}
 	logger.Printf("listening on %s", ln.Addr())
 	return cluster.Serve(ln, opts)
 }

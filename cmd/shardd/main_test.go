@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +12,7 @@ import (
 	"smartexp3/internal/cluster"
 	"smartexp3/internal/core"
 	"smartexp3/internal/netmodel"
+	"smartexp3/internal/obsv"
 	"smartexp3/internal/runner"
 	"smartexp3/internal/sim"
 )
@@ -90,5 +94,81 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-listen", "not-an-address"}); err == nil ||
 		!strings.Contains(err.Error(), "listen") {
 		t.Fatalf("want a listen error, got %v", err)
+	}
+}
+
+// TestRunDebugEndpointServesMetrics boots the daemon with -debug-addr,
+// drives a batch through it, and scrapes /metrics: the text must validate
+// and carry the worker-side run/range counters plus the pool gauges.
+func TestRunDebugEndpointServesMetrics(t *testing.T) {
+	reserve := func() string {
+		probe, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := probe.Addr().String()
+		probe.Close()
+		return addr
+	}
+	addr, debugAddr := reserve(), reserve()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- run([]string{"-listen", addr, "-quiet", "-debug-addr", debugAddr}) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shardd never started listening: %v", err)
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("shardd exited early: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	cfg := sim.Config{
+		Topology: netmodel.Setting1(),
+		Devices:  sim.UniformDevices(4, core.AlgSmartEXP3),
+		Slots:    40,
+	}
+	job, err := cluster.NewJob(runner.Replications{Runs: 6, Seed: 9}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Run(job, []string{addr}, cluster.Options{}, func(int, *sim.Result) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if err := obsv.CheckPrometheusText(bytes.NewReader(body)); err != nil {
+		t.Fatalf("/metrics not parseable Prometheus text: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"cluster_worker_runs_total 6",
+		"cluster_worker_jobs_total 1",
+		// 2: the readiness probe above plus the real coordinator.
+		"cluster_worker_sessions_total 2",
+		"runner_runs_total 6",
+		"cluster_worker_range_ns_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
 	}
 }

@@ -10,6 +10,7 @@
 //	simulate -runs 96 -shards h1:9631,h2:9631 # shard the batch across workers
 //	simulate -config scenario.json            # declarative JSON scenario
 //	simulate -writeconfig scenario.json ...   # save the flags as a scenario
+//	simulate -runs 96 -debug-addr :9634       # watch /metrics + pprof live
 //
 // With -runs above 1 the scenario is replicated across the internal/runner
 // worker pool: each replication gets its own RNG stream derived from -seed
@@ -33,6 +34,7 @@ import (
 
 	"smartexp3"
 	"smartexp3/internal/cluster"
+	"smartexp3/internal/obsv"
 	"smartexp3/internal/runner"
 	"smartexp3/internal/scenario"
 	"smartexp3/internal/stats"
@@ -70,6 +72,7 @@ func run(args []string) error {
 		shards    = fs.String("shards", "", "comma-separated shardd addresses to shard replications across")
 		confPath  = fs.String("config", "", "run a JSON scenario file instead of the flags")
 		writePath = fs.String("writeconfig", "", "write the flag-defined scenario as JSON and exit")
+		debug     = fs.String("debug-addr", "", "serve /metrics, /varz and /debug/pprof/ on this address for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -138,8 +141,23 @@ func run(args []string) error {
 		}
 	}
 
+	// The debug listener observes the run: pool utilization and (for a
+	// sharded batch) session wire counters, with pprof for live profiling.
+	// Observation-only — the printed aggregates are identical either way.
+	var reg *obsv.Registry
+	if *debug != "" {
+		reg = obsv.NewRegistry()
+		runner.Instrument(reg)
+		ds, err := obsv.ListenAndServe(*debug, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "simulate: debug endpoints on http://%s/\n", ds.Addr())
+	}
+
 	if *runs > 1 || len(shardAddrs) > 0 {
-		return runReplicated(cfg, *runs, *workers, shardAddrs)
+		return runReplicated(cfg, *runs, *workers, shardAddrs, reg)
 	}
 
 	res, err := smartexp3.Simulate(cfg)
@@ -193,7 +211,7 @@ func run(args []string) error {
 // aggregate statistics. Only the header line mentions the execution shape;
 // every aggregate line below it is byte-identical across worker and shard
 // counts.
-func runReplicated(cfg smartexp3.SimConfig, runs, workers int, shards []string) error {
+func runReplicated(cfg smartexp3.SimConfig, runs, workers int, shards []string, reg *obsv.Registry) error {
 	var (
 		switches  []float64 // per device, pooled over runs
 		downloads []float64 // per run: median over devices (GB)
@@ -228,6 +246,9 @@ func runReplicated(cfg smartexp3.SimConfig, runs, workers int, shards []string) 
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
 			},
+		}
+		if reg != nil {
+			opts.Metrics = cluster.NewSessionMetrics(reg)
 		}
 		if err := cluster.Run(job, shards, opts, merge); err != nil {
 			return err

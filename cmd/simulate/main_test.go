@@ -198,3 +198,14 @@ func TestShardedAggregatesMatchInProcess(t *testing.T) {
 		t.Fatalf("sharded aggregates differ from in-process:\nlocal:\n%s\nsharded:\n%s", local, sharded)
 	}
 }
+
+// TestRunWithDebugAddr smokes the -debug-addr flag: the run must bring the
+// debug listener up, complete normally, and reject an unbindable address.
+func TestRunWithDebugAddr(t *testing.T) {
+	if err := run([]string{"-devices", "4", "-slots", "30", "-runs", "3", "-debug-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-devices", "4", "-slots", "10", "-debug-addr", "not-an-address"}); err == nil {
+		t.Fatal("want an error for an unbindable -debug-addr")
+	}
+}

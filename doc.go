@@ -118,6 +118,21 @@
 //     which a serve session must be decision- and state-identical to a
 //     clean one.
 //
+// Every layer is observable through internal/obsv, a stdlib-only metrics
+// layer built for the hot paths above: atomic counters and gauges, fixed
+// 4KB log-bucketed latency histograms (mergeable, concurrent-writer-safe,
+// p50/p99/p999 at scrape time), and a registry that serves Prometheus text
+// on /metrics, a JSON snapshot on /varz, and net/http/pprof — all on an
+// opt-in debug listener (-debug-addr on served, shardd and simulate), with
+// an optional periodic log/slog delta record for log-scraping fleets. The
+// contract is zero cost when disabled and observation-only when enabled:
+// metrics never feed back into decisions, so instrumented and bare runs of
+// the same seed are byte-identical, and recording on the warm
+// Select+Feedback path is a few plain increments under an already-held
+// shard lock plus a 1-in-64 sampled latency probe — the path measures 0
+// allocs/op with instrumentation attached, enforced by the same CI gate
+// that guards the engine's allocation budget.
+//
 // The determinism contract ties the layers together: per-run seeds are a
 // pure function of (base seed, stream ids, run index) via
 // rngutil.ChildSeed; Engine.Run(ws, seed) is a pure function of (engine,

@@ -21,11 +21,13 @@
 package chaos
 
 import (
+	"fmt"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"smartexp3/internal/obsv"
 	"smartexp3/internal/rngutil"
 )
 
@@ -70,6 +72,12 @@ type Faults struct {
 	// Point it just past the victim's FrameTimeout to exercise deadline
 	// recovery rather than mere slowness.
 	StallFor time.Duration
+
+	// Metrics, when non-nil, counts every fault a Conn fires, by kind
+	// (see NewMetrics). Observation-only: the pointer is not part of the
+	// schedule's identity, so instrumented and bare runs of the same Seed
+	// fault identically. Mangle (the clockless fuzz path) never counts.
+	Metrics *Metrics
 }
 
 func (f Faults) minGap() int {
@@ -160,6 +168,34 @@ func (s *schedule) advance() {
 		}
 		u -= w
 	}
+}
+
+// Metrics counts injected faults by kind.
+type Metrics struct {
+	faults [kindCount]*obsv.Counter
+}
+
+// NewMetrics registers the fault counters on reg, one
+// chaos_faults_total{kind=...} series per kind.
+func NewMetrics(reg *obsv.Registry) *Metrics {
+	m := &Metrics{}
+	for kind, name := range map[int]string{
+		kindDelay: "delay", kindCorrupt: "corrupt", kindCut: "cut", kindStall: "stall",
+	} {
+		m.faults[kind] = reg.Counter(
+			fmt.Sprintf(`chaos_faults_total{kind="%s"}`, name),
+			"Faults injected by the chaos layer, by kind")
+	}
+	return m
+}
+
+// note records one fired fault. Nil-safe so Conn.apply can call it
+// unconditionally on the schedule's (possibly absent) Metrics.
+func (m *Metrics) note(kind int) {
+	if m == nil {
+		return
+	}
+	m.faults[kind].Inc()
 }
 
 // Mangle applies f's schedule for connection index 0, direction DirUp, to
@@ -263,6 +299,7 @@ func (c *Conn) apply(sc *schedule, p []byte, n int) (int, bool) {
 	end := start + int64(n)
 	for sc.next < end {
 		at := int(sc.next - start)
+		sc.f.Metrics.note(sc.kind)
 		switch sc.kind {
 		case kindDelay:
 			c.sleep(time.Duration(sc.rng.Int63n(int64(sc.f.maxDelay()) + 1)))

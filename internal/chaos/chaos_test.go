@@ -2,11 +2,15 @@ package chaos
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"smartexp3/internal/obsv"
 )
 
 // testPayload is a deterministic byte stream long enough to cross many
@@ -300,5 +304,81 @@ func TestProxyScheduledCutEventuallyKillsTheFlow(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), data[:got.Len()]) {
 		t.Fatal("bytes delivered before the cut were not intact")
+	}
+}
+
+// faultCounts pumps data through a chaos.Conn with f instrumented on a
+// fresh registry and returns the received bytes plus the scraped
+// chaos_faults_total values by kind (validated Prometheus text on the way).
+func faultCounts(t *testing.T, data []byte, f Faults) ([]byte, map[string]float64) {
+	t.Helper()
+	reg := obsv.NewRegistry()
+	f.Metrics = NewMetrics(reg)
+	got := pump(t, data, f, 256)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := obsv.CheckPrometheusText(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("malformed metrics: %v\n%s", err, b.String())
+	}
+	var m map[string]any
+	b.Reset()
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]float64)
+	for _, kind := range []string{"delay", "corrupt", "cut", "stall"} {
+		counts[kind] = m[`chaos_faults_total{kind="`+kind+`"}`].(float64)
+	}
+	return got, counts
+}
+
+// TestMetricsCountFaultsWithoutChangingSchedule instruments fault streams
+// and checks two things: every fired fault lands in
+// chaos_faults_total{kind=...}, and the mangled bytes are identical to a
+// bare run of the same seed — Metrics is observation-only, outside the
+// schedule's identity.
+func TestMetricsCountFaultsWithoutChangingSchedule(t *testing.T) {
+	data := testPayload(1 << 13)
+
+	// Corrupt-only: the whole stream survives and the count must equal
+	// the number of byte positions the bare run flipped.
+	f := Faults{Seed: 3, MinGap: 32, MaxGap: 128, Corrupt: 1}
+	want := pump(t, data, f, 256)
+	got, counts := faultCounts(t, data, f)
+	if !bytes.Equal(got, want) {
+		t.Fatal("instrumented run mangled the stream differently from the bare run")
+	}
+	flips := 0
+	for i := range data {
+		if data[i] != want[i] {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("corrupt schedule never fired; the test proves nothing")
+	}
+	if counts["corrupt"] != float64(flips) {
+		t.Fatalf("corrupt faults counted = %v, stream has %d flipped bytes", counts["corrupt"], flips)
+	}
+	for _, kind := range []string{"delay", "cut", "stall"} {
+		if counts[kind] != 0 {
+			t.Fatalf("%s faults counted = %v with weight 0", kind, counts[kind])
+		}
+	}
+
+	// Cut-enabled: exactly one cut fires (a cut ends the stream) and the
+	// received prefix is correspondingly short.
+	got, counts = faultCounts(t, data, Faults{Seed: 11, MinGap: 50, MaxGap: 300, Corrupt: 4, Cut: 1})
+	if counts["cut"] != 1 {
+		t.Fatalf("cut faults counted = %v, want exactly 1", counts["cut"])
+	}
+	if len(got) >= len(data) {
+		t.Fatal("cut counted but the full stream arrived")
 	}
 }

@@ -40,6 +40,11 @@ type Options struct {
 	// what reassignment is for), so they are reported here rather than as
 	// errors.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, counts session activity (jobs, chunks,
+	// reconnects, dispatch latency) — a NewSessionMetrics set registered
+	// on an obsv.Registry. Observation-only: instrumentation never changes
+	// a seed, a chunk boundary or a merge order.
+	Metrics *SessionMetrics
 }
 
 func (o Options) logf(format string, args ...any) {

@@ -266,6 +266,9 @@ func (s *Session) register(job JobSpec) *jobRun {
 		failCh:  make(chan struct{}),
 	}
 	j.resCh = make(chan chunkResult, j.window)
+	if m := s.opts.Metrics; m != nil {
+		m.Jobs.Inc()
+	}
 	s.jobs = append(s.jobs, j)
 	if s.live == 0 || s.closed {
 		s.startLocalLocked(j)
@@ -299,6 +302,9 @@ func (s *Session) failJobLocked(j *jobRun, err error) {
 		j.failed = true
 		j.firstErr = err
 		close(j.failCh)
+		if m := s.opts.Metrics; m != nil {
+			m.JobsFailed.Inc()
+		}
 	}
 	s.cond.Broadcast()
 }
@@ -322,6 +328,9 @@ func (s *Session) requeue(j *jobRun, idx int) {
 	s.mu.Lock()
 	if !j.ended && !j.failed {
 		j.retry = append(j.retry, idx)
+		if m := s.opts.Metrics; m != nil {
+			m.ChunksReassigned.Inc()
+		}
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
@@ -341,6 +350,9 @@ func (s *Session) deliver(j *jobRun, cr chunkResult) {
 	}
 	select {
 	case j.resCh <- cr:
+		if m := s.opts.Metrics; m != nil {
+			m.Chunks.Inc()
+		}
 	default:
 		// Unreachable while the claim-window invariant holds; failing loudly
 		// beats silently hanging the merger on a lost chunk.
@@ -471,6 +483,11 @@ func (s *Session) shardLoop(sh *shard) {
 			time.Sleep(redialBackoff)
 			continue
 		}
+		if everConnected {
+			if m := s.opts.Metrics; m != nil {
+				m.Reconnects.Inc()
+			}
+		}
 		everConnected = true
 		sh.setConn(conn)
 		progressed, permanent, err := s.runConn(sh, conn)
@@ -500,10 +517,11 @@ func (s *Session) shardLoop(sh *shard) {
 
 // inflightChunk is one range on the wire, awaiting its result stream.
 type inflightChunk struct {
-	j     *jobRun
-	idx   int
-	first int
-	count int
+	j      *jobRun
+	idx    int
+	first  int
+	count  int
+	sentAt time.Time // dispatch instant, set only when the session is instrumented
 }
 
 // epoch is one connection's lifetime within a session: a writer (the shard
@@ -596,6 +614,10 @@ func (s *Session) runConn(sh *shard, conn net.Conn) (progressed, permanent bool,
 		shipped: make(map[uint64]*jobRun),
 	}
 	e.fw = newFrameWriter(e.bw)
+	if m := s.opts.Metrics; m != nil {
+		e.fr.Instrument(m.FramesRead, m.BytesRead)
+		e.fw.Instrument(m.FramesWritten, m.BytesWritten)
+	}
 
 	// Handshake under the frame timeout.
 	if err := e.write(&envelope{Hello: &helloMsg{Version: protocolVersion}}); err != nil {
@@ -744,7 +766,11 @@ func (e *epoch) writerLoop() {
 			}
 			// Enter the FIFO before writing: if the write fails the chunk is
 			// requeued by the epoch cleanup like any other in-flight range.
-			e.inflight = append(e.inflight, inflightChunk{j: j, idx: idx, first: first, count: count})
+			c := inflightChunk{j: j, idx: idx, first: first, count: count}
+			if e.s.opts.Metrics != nil {
+				c.sentAt = time.Now()
+			}
+			e.inflight = append(e.inflight, c)
 			e.refreshReadDeadlineLocked()
 			e.mu.Unlock()
 			if !sent {
@@ -811,6 +837,9 @@ func (e *epoch) keepaliveLoop(done chan struct{}) {
 		if err := e.write(&envelope{Ping: &pingMsg{Seq: seq}}); err != nil {
 			e.kill(err)
 			return
+		}
+		if m := e.s.opts.Metrics; m != nil {
+			m.Pings.Inc()
 		}
 	}
 }
@@ -906,6 +935,9 @@ func (e *epoch) readerLoop() {
 			e.mu.Lock()
 			e.progressed = true
 			e.mu.Unlock()
+			if m := e.s.opts.Metrics; m != nil && !head.sentAt.IsZero() {
+				m.DispatchLatency.Observe(time.Since(head.sentAt).Nanoseconds())
+			}
 			e.s.deliver(head.j, chunkResult{idx: head.idx, results: cur})
 			cur = nil
 

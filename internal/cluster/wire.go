@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"smartexp3/internal/obsv"
 	"smartexp3/internal/sim"
 )
 
@@ -160,9 +161,18 @@ const retainFrameBytes = 1 << 20
 //
 // Not safe for concurrent use; callers serialize writes per connection.
 type FrameWriter struct {
-	w   io.Writer
-	buf frameBuf // one frame under construction: 4-byte prefix + gob bytes
-	enc *gob.Encoder
+	w      io.Writer
+	buf    frameBuf // one frame under construction: 4-byte prefix + gob bytes
+	enc    *gob.Encoder
+	frames *obsv.Counter // optional; see Instrument
+	bytes  *obsv.Counter
+}
+
+// Instrument counts every successfully written frame and its wire bytes
+// (header included) on the given counters. Call it before the writer
+// carries traffic; both counters must be non-nil together.
+func (fw *FrameWriter) Instrument(frames, bytes *obsv.Counter) {
+	fw.frames, fw.bytes = frames, bytes
 }
 
 // frameBuf is the io.Writer the gob encoder targets: it appends into a
@@ -209,6 +219,10 @@ func (fw *FrameWriter) Encode(msg any) error {
 	if _, err := fw.w.Write(b); err != nil {
 		return fmt.Errorf("cluster: write frame: %w", err)
 	}
+	if fw.frames != nil {
+		fw.frames.Inc()
+		fw.bytes.Add(uint64(len(b)))
+	}
 	return nil
 }
 
@@ -233,6 +247,15 @@ type FrameReader struct {
 	cur     bytes.Reader
 	dec     *gob.Decoder
 	err     error // first failure; the stream is dead after one
+	frames  *obsv.Counter // optional; see Instrument
+	nbytes  *obsv.Counter
+}
+
+// Instrument counts every fully read frame and its wire bytes (header
+// included) on the given counters. Call it before the reader carries
+// traffic; both counters must be non-nil together.
+func (fr *FrameReader) Instrument(frames, bytes *obsv.Counter) {
+	fr.frames, fr.nbytes = frames, bytes
 }
 
 // NewFrameReader returns a frame reader for one connection's inbound
@@ -278,6 +301,10 @@ func (fr *FrameReader) decode(msg any) error {
 	fr.payload = fr.payload[:n]
 	if _, err := io.ReadFull(fr.r, fr.payload); err != nil {
 		return fmt.Errorf("cluster: read frame body: %w", err)
+	}
+	if fr.frames != nil {
+		fr.frames.Inc()
+		fr.nbytes.Add(uint64(frameHeaderSize) + uint64(n))
 	}
 	if got := crc32.Checksum(fr.payload, castagnoli); got != sum {
 		return fmt.Errorf("cluster: frame checksum %08x, want %08x (corrupt stream)", got, sum)

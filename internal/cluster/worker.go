@@ -33,6 +33,10 @@ type WorkerOptions struct {
 	// Logf, when non-nil, receives connection-level progress and failure
 	// lines.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, counts worker activity (sessions, jobs,
+	// ranges, runs, wire traffic) — a NewWorkerMetrics set registered on
+	// an obsv.Registry, shared by every session the daemon serves.
+	Metrics *WorkerMetrics
 }
 
 func (o WorkerOptions) logf(format string, args ...any) {
@@ -184,6 +188,12 @@ func serveConn(conn net.Conn, opts WorkerOptions) error {
 	bw := bufio.NewWriter(conn)
 	fw := newFrameWriter(bw)
 	fr := newFrameReader(bufio.NewReader(conn))
+	m := opts.Metrics
+	if m != nil {
+		m.Sessions.Inc()
+		fr.Instrument(m.FramesRead, m.BytesRead)
+		fw.Instrument(m.FramesWritten, m.BytesWritten)
+	}
 	wt := opts.writeTimeout()
 	flush := func(env *envelope) error {
 		// Per-frame write deadline, like the coordinator's epoch.write: a
@@ -237,6 +247,9 @@ func serveConn(conn net.Conn, opts WorkerOptions) error {
 			if err := flush(&envelope{Pong: &pongMsg{Seq: env.Ping.Seq}}); err != nil {
 				return err
 			}
+			if m != nil {
+				m.Pongs.Inc()
+			}
 
 		case env.Job != nil:
 			id := env.Job.ID
@@ -244,6 +257,13 @@ func serveConn(conn net.Conn, opts WorkerOptions) error {
 				return fmt.Errorf("protocol: duplicate job id %d", id)
 			}
 			compileErr := ws.addJob(id, env.Job.Spec)
+			if m != nil {
+				if compileErr == "" {
+					m.Jobs.Inc()
+				} else {
+					m.JobsRejected.Inc()
+				}
+			}
 			if err := flush(&envelope{JobAck: &jobAckMsg{ID: id, Err: compileErr}}); err != nil {
 				return err
 			}
@@ -276,13 +296,24 @@ func serveConn(conn net.Conn, opts WorkerOptions) error {
 			if r.First < 0 || r.Count <= 0 || r.First > wj.exec.job.Runs || r.Count > wj.exec.job.Runs-r.First {
 				return fmt.Errorf("protocol: range [first=%d, count=%d) outside batch of %d runs", r.First, r.Count, wj.exec.job.Runs)
 			}
+			var rangeStart time.Time
+			if m != nil {
+				m.Ranges.Inc()
+				rangeStart = time.Now()
+			}
 			runErr := wj.exec.run(r.First, r.Count, func(run int, res *sim.Result) error {
+				if m != nil {
+					m.Runs.Inc()
+				}
 				// Flush per result, not per range: the coordinator's
 				// FrameTimeout is a progress timeout, so every finished run
 				// must reach the wire promptly — a slow chunk buffered until
 				// RangeDone would look like a stalled worker.
 				return flush(&envelope{RunResult: &runResultMsg{Job: r.Job, Run: run, Res: res}})
 			})
+			if m != nil {
+				m.RangeLatency.Observe(time.Since(rangeStart).Nanoseconds())
+			}
 			done := rangeDoneMsg{Job: r.Job, First: r.First}
 			if runErr != nil {
 				// Distinguish simulation errors (report to the coordinator, keep

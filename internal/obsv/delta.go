@@ -1,0 +1,75 @@
+package obsv
+
+import (
+	"log/slog"
+	"time"
+)
+
+// DeltaLogger periodically emits one structured slog record summarising
+// what changed in a registry since the previous emission — the trace a
+// headless run leaves behind when nobody is scraping /metrics. Counters
+// report their delta, gauges their current value, histograms their sample
+// delta plus current p99. Quiet intervals (no counter or histogram
+// movement, no gauge change) emit nothing, so an idle daemon stays silent
+// in its logs.
+type DeltaLogger struct {
+	reg  *Registry
+	log  *slog.Logger
+	prev map[string]float64
+}
+
+// NewDeltaLogger returns a delta logger over reg writing to log.
+func NewDeltaLogger(reg *Registry, log *slog.Logger) *DeltaLogger {
+	return &DeltaLogger{reg: reg, log: log, prev: make(map[string]float64)}
+}
+
+// Log emits one "metrics" record with an attribute per changed metric,
+// and updates the baseline. Safe to call concurrently with metric writers;
+// not safe to call concurrently with itself.
+func (d *DeltaLogger) Log() {
+	attrs := make([]any, 0, 16)
+	for _, m := range d.reg.sorted() {
+		if m.kind == kindHistogram {
+			count := float64(m.hist.Count())
+			if delta := count - d.prev[m.name]; delta > 0 {
+				attrs = append(attrs,
+					slog.Float64(m.name+"_delta", delta),
+					slog.Int64(m.name+"_p99", m.hist.Quantile(0.99)))
+			}
+			d.prev[m.name] = count
+			continue
+		}
+		v := m.value()
+		switch m.kind {
+		case kindCounter:
+			if delta := v - d.prev[m.name]; delta != 0 {
+				attrs = append(attrs, slog.Float64(m.name+"_delta", delta))
+			}
+		case kindGauge:
+			if _, seen := d.prev[m.name]; !seen || v != d.prev[m.name] {
+				attrs = append(attrs, slog.Float64(m.name, v))
+			}
+		}
+		d.prev[m.name] = v
+	}
+	if len(attrs) == 0 {
+		return
+	}
+	d.log.Info("metrics", attrs...)
+}
+
+// Run emits deltas every interval until stop is closed, then emits one
+// final record so the tail of a run is never lost.
+func (d *DeltaLogger) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			d.Log()
+		case <-stop:
+			d.Log()
+			return
+		}
+	}
+}

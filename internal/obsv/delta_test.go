@@ -1,0 +1,65 @@
+package obsv
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestDeltaLoggerEmitsChangesOnly(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("dl_ops_total", "ops")
+	g := reg.Gauge("dl_active", "active")
+	h := reg.Histogram("dl_latency_ns", "latency")
+
+	var buf lockedBuf
+	d := NewDeltaLogger(reg, slog.New(slog.NewTextHandler(&buf, nil)))
+
+	c.Add(5)
+	g.Set(3)
+	h.Observe(100)
+	h.Observe(200)
+	d.Log()
+	out := buf.String()
+	for _, want := range []string{"dl_ops_total_delta=5", "dl_active=3", "dl_latency_ns_delta=2", "dl_latency_ns_p99="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("first emission missing %q:\n%s", want, out)
+		}
+	}
+
+	// Nothing moved: no record at all.
+	before := buf.String()
+	d.Log()
+	if buf.String() != before {
+		t.Fatalf("quiet interval still emitted a record:\n%s", buf.String())
+	}
+
+	// Only the counter moves; the delta is relative to the last emission.
+	c.Add(2)
+	d.Log()
+	tail := strings.TrimPrefix(buf.String(), before)
+	if !strings.Contains(tail, "dl_ops_total_delta=2") {
+		t.Fatalf("second emission missing counter delta:\n%s", tail)
+	}
+	if strings.Contains(tail, "dl_active=") {
+		t.Fatalf("unchanged gauge re-emitted:\n%s", tail)
+	}
+}

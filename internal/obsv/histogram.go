@@ -1,0 +1,155 @@
+package obsv
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// histSubBits is the log2 of the sub-bucket count per octave. 8
+	// sub-buckets per power of two bound the relative bucket width at
+	// 1/8 = 12.5%, which is what makes a bucket-boundary quantile answer
+	// "within one bucket width" of the exact sample.
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBuckets covers the full non-negative int64 range: values below
+	// 2^histSubBits map exactly (one value per bucket), every octave above
+	// contributes histSub buckets.
+	histBuckets = ((64 - histSubBits) << histSubBits) + histSub
+)
+
+// bucketIndex maps a sample to its bucket. Negative samples clamp to 0 —
+// histograms here measure durations and sizes, where a negative value is a
+// clock anomaly, not information.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	exp := bits.Len64(u)
+	if exp <= histSubBits {
+		return int(u) // exact small values: one bucket per integer
+	}
+	shift := uint(exp - histSubBits - 1)
+	sub := int((u >> shift) & (histSub - 1))
+	return ((exp - histSubBits) << histSubBits) | sub
+}
+
+// bucketBounds returns bucket i's inclusive [lo, hi] value range.
+func bucketBounds(i int) (lo, hi int64) {
+	if i < histSub {
+		return int64(i), int64(i)
+	}
+	octave := i >> histSubBits
+	sub := int64(i & (histSub - 1))
+	width := int64(1) << uint(octave-1)
+	lo = (int64(histSub) + sub) * width
+	return lo, lo + width - 1
+}
+
+// Histogram is a fixed-size, lock-free, log-linear histogram: 8 sub-buckets
+// per power of two (≤ 12.5% relative width), covering all non-negative
+// int64 values. Observe is three uncontended atomic adds and 0 allocs/op,
+// safe under any number of concurrent writers; snapshots and quantile
+// queries run concurrently with writers and see a consistent-enough view
+// (each bucket individually exact, the set advancing monotonically).
+//
+// The zero value is ready to use. A Histogram is ~4 KB; embed or allocate
+// one per metric, not per request.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Merge adds src's samples into h — the reduction for per-shard or
+// per-worker histograms. Both histograms may be concurrently written;
+// the merge folds in whatever src held at the moment each bucket was read.
+func (h *Histogram) Merge(src *Histogram) {
+	for i := range src.buckets {
+		if n := src.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) of the
+// observed samples: the inclusive upper edge of the bucket holding the
+// rank-⌈q·n⌉ sample. The answer is within one bucket width (≤ 12.5%
+// relative) of the exact order statistic. With no samples it returns 0.
+func (h *Histogram) Quantile(q float64) int64 { s := h.Snapshot(); return s.Quantile(q) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram, used by the
+// registry's renderers and by tests that compare histograms exactly.
+type HistogramSnapshot struct {
+	Counts [histBuckets]uint64
+	Sum    int64
+}
+
+// Snapshot copies the bucket counts. Taken concurrently with writers, the
+// copy is a valid histogram of a subset/superset of the samples near the
+// instant of the call; its total is the sum of its buckets, so cumulative
+// renderings are internally consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Total returns the snapshot's sample count (the sum of its buckets).
+func (s *HistogramSnapshot) Total() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile is Histogram.Quantile over the frozen snapshot.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) || rank == 0 {
+		rank++ // ceil, and at least the first sample
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			_, hi := bucketBounds(i)
+			return hi
+		}
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}

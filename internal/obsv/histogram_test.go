@@ -1,0 +1,176 @@
+package obsv
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexBoundsContainValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(v int64) {
+		i := bucketIndex(v)
+		lo, hi := bucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d mapped to bucket %d = [%d, %d]", v, i, lo, hi)
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	for n := 0; n < 10000; n++ {
+		check(rng.Int63())
+	}
+	check(1<<63 - 1)
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<16; v++ {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		prev = i
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("negative sample: got bucket %d, want 0", got)
+	}
+}
+
+func TestBucketRelativeWidth(t *testing.T) {
+	for i := histSub; i < histBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if hi < lo {
+			continue // overflow at the top octave's edge
+		}
+		width := float64(hi-lo) + 1
+		if width/float64(lo) > 0.125+1e-9 {
+			t.Fatalf("bucket %d = [%d, %d]: relative width %.4f > 12.5%%", i, lo, hi, width/float64(lo))
+		}
+	}
+}
+
+// Merged per-shard histograms must equal a single-writer histogram over the
+// same samples — the property the per-shard design rests on.
+func TestHistogramMergeEqualsSingleWriter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		shards := make([]*Histogram, 1+rng.Intn(8))
+		for i := range shards {
+			shards[i] = new(Histogram)
+		}
+		single := new(Histogram)
+		n := 1 + rng.Intn(5000)
+		for j := 0; j < n; j++ {
+			v := rng.Int63n(1 << uint(1+rng.Intn(40)))
+			single.Observe(v)
+			shards[rng.Intn(len(shards))].Observe(v)
+		}
+		merged := new(Histogram)
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		a, b := merged.Snapshot(), single.Snapshot()
+		if a != b {
+			t.Fatalf("trial %d: merged snapshot differs from single-writer snapshot", trial)
+		}
+		if merged.Count() != single.Count() || merged.Sum() != single.Sum() {
+			t.Fatalf("trial %d: count/sum mismatch: %d/%d vs %d/%d",
+				trial, merged.Count(), merged.Sum(), single.Count(), single.Sum())
+		}
+	}
+}
+
+// Quantile answers must land in the same bucket as the exact order
+// statistic — i.e. within one bucket width (≤ 12.5% relative).
+func TestHistogramQuantileBracketsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(3000)
+		samples := make([]int64, n)
+		h := new(Histogram)
+		for i := range samples {
+			samples[i] = rng.Int63n(1 << uint(2+rng.Intn(30)))
+			h.Observe(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 0.999, 1.0} {
+			rank := int(q * float64(n))
+			if float64(rank) < q*float64(n) || rank == 0 {
+				rank++
+			}
+			if rank > n {
+				rank = n
+			}
+			exact := samples[rank-1]
+			got := h.Quantile(q)
+			if bucketIndex(got) != bucketIndex(exact) {
+				t.Fatalf("trial %d n=%d q=%g: Quantile=%d (bucket %d), exact=%d (bucket %d)",
+					trial, n, q, got, bucketIndex(got), exact, bucketIndex(exact))
+			}
+			lo, hi := bucketBounds(bucketIndex(exact))
+			if got < lo || got > hi {
+				t.Fatalf("quantile %d outside exact sample's bucket [%d, %d]", got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram Quantile = %d, want 0", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	const goroutines, per = 8, 20000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	snap := h.Snapshot()
+	if snap.Total() != goroutines*per {
+		t.Fatalf("bucket total = %d, want %d", snap.Total(), goroutines*per)
+	}
+	const n = int64(goroutines * per)
+	if want := n * (n - 1) / 2; h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	v := int64(0)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(v); v += 37 }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestCounterAddDoesNotAllocate(t *testing.T) {
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3); c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Add allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestGaugeSetDoesNotAllocate(t *testing.T) {
+	var g Gauge
+	v := int64(0)
+	if n := testing.AllocsPerRun(1000, func() { g.Set(v); g.Add(1); v++ }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %.1f objects/op, want 0", n)
+	}
+}

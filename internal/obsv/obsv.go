@@ -1,0 +1,58 @@
+// Package obsv is the repo's stdlib-only instrumentation layer: atomic
+// counters and gauges, log-bucketed latency histograms, and a registry that
+// exports everything as Prometheus text (/metrics), JSON (/varz) and
+// net/http/pprof on an opt-in debug listener.
+//
+// The layer exists because the daemons this repo grows (cmd/served,
+// cmd/shardd) make claims about rates and latencies under load — decision
+// throughput, switching cost, recovery after faults — that were only ever
+// visible from tests. obsv makes them visible from a running process
+// without bending the properties the tests pin:
+//
+//   - Hot-path records are a few atomic operations and 0 allocs/op
+//     (Counter.Add, Gauge.Set, Histogram.Observe), safe under concurrent
+//     writers. The serve store's warm Select+Feedback path stays
+//     0 allocs/op with instrumentation enabled, and CI gates that.
+//   - Metrics are observation-only. Nothing in this package feeds back
+//     into a decision, a seed, or a schedule, so the determinism contract
+//     (aggregates byte-identical across worker/shard counts, stores a pure
+//     function of their request history) is untouched.
+//   - Zero cost when disabled: every instrumented component guards its
+//     records behind a nil check on an optional metrics struct, so a
+//     process that never wires a Registry pays a predictable branch, not
+//     an atomic, per operation.
+//
+// Histograms are log-linear: 8 sub-buckets per power of two (≤ 12.5%
+// relative bucket width), fixed-size arrays with no locks, mergeable
+// across shards, with p50/p99/p999 queries. They are meant for nanosecond
+// latencies but accept any non-negative int64.
+package obsv
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; Add/Inc are one atomic op and never allocate.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (occupancy, active workers).
+// The zero value is ready to use; Set/Add are one atomic op and never
+// allocate.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

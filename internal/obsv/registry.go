@@ -1,0 +1,471 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series: a family name, an optional fixed label
+// set, and exactly one value source.
+type metric struct {
+	name   string // full registered name, labels included
+	family string
+	labels string // "" or `{k="v",...}`
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // CounterFunc/GaugeFunc source
+}
+
+func (m *metric) value() float64 {
+	switch {
+	case m.fn != nil:
+		return m.fn()
+	case m.counter != nil:
+		return float64(m.counter.Value())
+	default:
+		return float64(m.gauge.Value())
+	}
+}
+
+var (
+	familyRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelsRe = regexp.MustCompile(`^\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\}$`)
+)
+
+// Registry holds named metrics and renders them. Registration is expected
+// at startup (it locks and validates); reads of registered metrics are the
+// lock-free atomics of the metric types themselves. Methods panic on
+// invalid or duplicate names — misregistration is a programming error, and
+// a daemon must fail at boot, not serve a silently incomplete /metrics.
+//
+// A name may carry a fixed label suffix, e.g. `chaos_faults_total{kind="cut"}`:
+// series sharing a family are grouped and must agree on kind and help.
+type Registry struct {
+	mu       sync.Mutex
+	metrics  []*metric
+	byName   map[string]bool
+	families map[string]*metric // first-registered series of each family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]bool), families: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	family, labels, err := splitName(m.name)
+	if err != nil {
+		panic(fmt.Sprintf("obsv: %v", err))
+	}
+	m.family, m.labels = family, labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.name] {
+		panic(fmt.Sprintf("obsv: metric %q registered twice", m.name))
+	}
+	if first := r.families[family]; first != nil {
+		if first.kind != m.kind {
+			panic(fmt.Sprintf("obsv: family %q registered as both %v and %v", family, first.kind, m.kind))
+		}
+		if first.help != m.help {
+			panic(fmt.Sprintf("obsv: family %q registered with two help strings", family))
+		}
+	} else {
+		r.families[family] = m
+	}
+	r.byName[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+func splitName(name string) (family, labels string, err error) {
+	family = name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		family, labels = name[:i], name[i:]
+		if !labelsRe.MatchString(labels) {
+			return "", "", fmt.Errorf("metric %q: malformed label suffix", name)
+		}
+	}
+	if !familyRe.MatchString(family) {
+		return "", "", fmt.Errorf("metric %q: invalid name", name)
+	}
+	return family, labels, nil
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := new(Counter)
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time — the bridge for components that already keep their own counts
+// (under a lock, say) and only need them exported.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := new(Gauge)
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// Histogram registers and returns a new histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := new(Histogram)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// sorted returns the metrics ordered by (family, labels) — the stable
+// rendering order both exporters share.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].labels < ms[j].labels
+	})
+	return ms
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel merges one extra label pair into a (possibly empty) fixed label
+// block.
+func withLabel(labels, pair string) string {
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, families sorted by name, each family's HELP/TYPE emitted once.
+// Histograms render cumulative le buckets (non-empty buckets plus +Inf)
+// with _sum and _count, internally consistent with the bucket total.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		if m.family != lastFamily {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.family, m.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.family, m.kind)
+			lastFamily = m.family
+		}
+		if m.kind != kindHistogram {
+			fmt.Fprintf(bw, "%s%s %s\n", m.family, m.labels, formatValue(m.value()))
+			continue
+		}
+		snap := m.hist.Snapshot()
+		var cum uint64
+		for i, c := range snap.Counts {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			_, hi := bucketBounds(i)
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, withLabel(m.labels, fmt.Sprintf(`le="%d"`, hi)), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", m.family, withLabel(m.labels, `le="+Inf"`), cum)
+		fmt.Fprintf(bw, "%s_sum%s %d\n", m.family, m.labels, snap.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", m.family, m.labels, cum)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders every metric as one JSON object keyed by full metric
+// name (/varz). Histograms render as {count, sum, p50, p99, p999, max}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		if m.kind != kindHistogram {
+			out[m.name] = m.value()
+			continue
+		}
+		snap := m.hist.Snapshot()
+		var max int64
+		for i := histBuckets - 1; i >= 0; i-- {
+			if snap.Counts[i] > 0 {
+				_, max = bucketBounds(i)
+				break
+			}
+		}
+		out[m.name] = map[string]any{
+			"count": snap.Total(),
+			"sum":   snap.Sum,
+			"p50":   snap.Quantile(0.50),
+			"p99":   snap.Quantile(0.99),
+			"p999":  snap.Quantile(0.999),
+			"max":   max,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out) // map keys marshal sorted: stable output
+}
+
+// Handler returns the debug mux: /metrics (Prometheus text), /varz (JSON)
+// and the net/http/pprof endpoints under /debug/pprof/. pprof is wired
+// explicitly onto this private mux — importing net/http/pprof for its
+// DefaultServeMux side effect would leak profiling onto any server the
+// process happens to run.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "/metrics /varz /debug/pprof/\n")
+	})
+	return mux
+}
+
+// DebugServer is the opt-in observability listener a daemon starts for its
+// registry (the -debug-addr flag). It serves in the background until Close.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe binds addr (pass host:0 for an ephemeral port) and serves
+// reg's Handler on it in a background goroutine.
+func ListenAndServe(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsv: debug listener: %w", err)
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: reg.Handler()}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the listener's bound address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// CheckPrometheusText validates a Prometheus text exposition: well-formed
+// HELP/TYPE comments, parseable sample lines, families contiguous (no
+// interleaving), and within each histogram's bucket run, strictly
+// increasing le bounds with non-decreasing cumulative counts. It is the
+// "fail on malformed output" gate the soak and daemon tests scrape through.
+func CheckPrometheusText(rd io.Reader) error {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := make(map[string]string)
+	done := make(map[string]bool) // families already closed out
+	curFamily := ""
+	lastLe := math.Inf(-1)
+	lastCum := -1.0
+	lineNo := 0
+	samples := 0
+	startFamily := func(f string) error {
+		if f == curFamily {
+			return nil
+		}
+		if curFamily != "" {
+			done[curFamily] = true
+		}
+		if done[f] {
+			return fmt.Errorf("family %q reappears after other families (interleaved output)", f)
+		}
+		curFamily = f
+		lastLe, lastCum = math.Inf(-1), -1
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			fam := fields[2]
+			if !familyRe.MatchString(fam) {
+				return fmt.Errorf("line %d: invalid family name %q", lineNo, fam)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch t := fields[3]; t {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					if _, dup := types[fam]; dup {
+						return fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, fam)
+					}
+					types[fam] = t
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q", lineNo, fields[3])
+				}
+			}
+			if err := startFamily(fam); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, valueStr, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: unparseable value %q", lineNo, valueStr)
+		}
+		fam := name
+		isBucket := false
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				fam = base
+				isBucket = suffix == "_bucket"
+				break
+			}
+		}
+		if err := startFamily(fam); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if isBucket {
+			le, ok := leBound(labels)
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket without an le label", lineNo)
+			}
+			if le <= lastLe {
+				return fmt.Errorf("line %d: bucket le %g not above previous %g", lineNo, le, lastLe)
+			}
+			if value < lastCum {
+				return fmt.Errorf("line %d: cumulative bucket count %g below previous %g", lineNo, value, lastCum)
+			}
+			lastLe, lastCum = le, value
+		} else {
+			lastLe, lastCum = math.Inf(-1), -1 // a _sum/_count/plain line ends the bucket run
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+// splitSample breaks "name{labels} value" (labels optional) apart.
+func splitSample(line string) (name, labels, value string, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name, labels, rest = line[:i], line[i:j+1], strings.TrimSpace(line[j+1:])
+		if !labelsRe.MatchString(labels) {
+			return "", "", "", fmt.Errorf("malformed labels in %q", line)
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", "", fmt.Errorf("sample %q has no value", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if !familyRe.MatchString(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// leBound extracts the numeric le bound from a label block.
+func leBound(labels string) (float64, bool) {
+	const key = `le="`
+	i := strings.Index(labels, key)
+	if i < 0 {
+		return 0, false
+	}
+	rest := labels[i+len(key):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,220 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("test_ops_total", "operations handled").Add(3)
+	reg.Gauge("test_active", "active things").Set(2)
+	reg.Counter(`test_faults_total{kind="cut"}`, "faults by kind").Inc()
+	reg.Counter(`test_faults_total{kind="delay"}`, "faults by kind").Add(2)
+	h := reg.Histogram("test_latency_ns", "latency in nanoseconds")
+	for _, v := range []int64{1, 1, 5, 100} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// The exposition must be byte-stable: families sorted, HELP/TYPE once,
+// cumulative le buckets. Scrape diffing and the golden below both depend
+// on that ordering.
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_active active things
+# TYPE test_active gauge
+test_active 2
+# HELP test_faults_total faults by kind
+# TYPE test_faults_total counter
+test_faults_total{kind="cut"} 1
+test_faults_total{kind="delay"} 2
+# HELP test_latency_ns latency in nanoseconds
+# TYPE test_latency_ns histogram
+test_latency_ns_bucket{le="1"} 2
+test_latency_ns_bucket{le="5"} 3
+test_latency_ns_bucket{le="103"} 4
+test_latency_ns_bucket{le="+Inf"} 4
+test_latency_ns_sum 107
+test_latency_ns_count 4
+# HELP test_ops_total operations handled
+# TYPE test_ops_total counter
+test_ops_total 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("rendering mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if err := CheckPrometheusText(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("golden output fails validator: %v", err)
+	}
+}
+
+func TestWriteJSONVarz(t *testing.T) {
+	var b strings.Builder
+	if err := goldenRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("varz is not JSON: %v", err)
+	}
+	if out["test_ops_total"] != 3.0 {
+		t.Fatalf("test_ops_total = %v, want 3", out["test_ops_total"])
+	}
+	hist, ok := out["test_latency_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("test_latency_ns = %T, want object", out["test_latency_ns"])
+	}
+	if hist["count"] != 4.0 || hist["sum"] != 107.0 {
+		t.Fatalf("histogram count/sum = %v/%v, want 4/107", hist["count"], hist["sum"])
+	}
+	if hist["p50"] != 1.0 || hist["max"] != 103.0 {
+		t.Fatalf("histogram p50/max = %v/%v, want 1/103", hist["p50"], hist["max"])
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"duplicate", func(r *Registry) { r.Counter("a_total", "x"); r.Counter("a_total", "x") }},
+		{"invalid name", func(r *Registry) { r.Counter("9bad", "x") }},
+		{"bad labels", func(r *Registry) { r.Counter(`a_total{kind=}`, "x") }},
+		{"kind mismatch", func(r *Registry) {
+			r.Counter(`a_total{k="1"}`, "x")
+			r.Gauge(`a_total{k="2"}`, "x")
+		}},
+		{"help mismatch", func(r *Registry) {
+			r.Counter(`a_total{k="1"}`, "x")
+			r.Counter(`a_total{k="2"}`, "y")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("registration did not panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestRegistryFuncMetrics(t *testing.T) {
+	reg := NewRegistry()
+	n := 41.0
+	reg.CounterFunc("fn_total", "from fn", func() float64 { n++; return n })
+	reg.GaugeFunc("fn_gauge", "from fn", func() float64 { return 7 })
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fn_total 42\n") || !strings.Contains(b.String(), "fn_gauge 7\n") {
+		t.Fatalf("func metrics missing from:\n%s", b.String())
+	}
+}
+
+// Scrapes racing metric writers must always yield parseable output.
+func TestConcurrentScrapeWhileWriting(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("race_ops_total", "ops")
+	h := reg.Histogram("race_latency_ns", "latency")
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(int64(g*1000 + i))
+				}
+			}
+		}(g)
+	}
+	for scrape := 0; scrape < 25; scrape++ {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = CheckPrometheusText(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("scrape %d: malformed exposition: %v", scrape, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := goldenRegistry()
+	d, err := ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, path := range []string{"/metrics", "/varz", "/debug/pprof/", "/"} {
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s: empty body", path)
+		}
+	}
+	resp, err := http.Get("http://" + d.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nope: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCheckPrometheusTextRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"empty", ""},
+		{"bad value", "a_total one\n"},
+		{"bad name", "9a_total 1\n"},
+		{"bad comment", "# NOPE a_total x\n"},
+		{"interleaved families", "a_total 1\nb_total 1\na_total 2\n"},
+		{"le not increasing", fmt.Sprintf("# TYPE h histogram\n%s\n%s\n",
+			`h_bucket{le="5"} 1`, `h_bucket{le="3"} 2`)},
+		{"cumulative decreasing", fmt.Sprintf("# TYPE h histogram\n%s\n%s\n",
+			`h_bucket{le="3"} 5`, `h_bucket{le="8"} 2`)},
+		{"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := CheckPrometheusText(strings.NewReader(tc.text)); err == nil {
+				t.Fatalf("validator accepted malformed input:\n%s", tc.text)
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package runner
+
+import (
+	"sync/atomic"
+
+	"smartexp3/internal/obsv"
+)
+
+// poolMetrics is the package's process-wide instrumentation. The runner's
+// entry points are free functions, not a constructed object, so the hook
+// is a package-level atomic pointer: nil (the default) keeps every batch
+// on the uninstrumented path for the cost of one pointer load, and a
+// daemon that wants pool visibility installs a set once at boot via
+// Instrument.
+type poolMetrics struct {
+	runs    *obsv.Counter
+	batches *obsv.Counter
+	active  *obsv.Gauge
+}
+
+var metrics atomic.Pointer[poolMetrics]
+
+// Instrument registers the runner pool's metrics on reg and enables
+// process-wide counting: runner_runs_total (tasks executed by the pool —
+// replications, grid cells), runner_batches_total (MergeOrderedPooled-level
+// batches), runner_workers_active (pool goroutines currently executing).
+// Call it before batches start; a later call (a test booting a second
+// in-process daemon, say) re-points counting at the new registry's
+// counters.
+func Instrument(reg *obsv.Registry) {
+	metrics.Store(&poolMetrics{
+		runs:    reg.Counter("runner_runs_total", "Tasks executed by the pool (replications, grid cells)"),
+		batches: reg.Counter("runner_batches_total", "Batches dispatched through the pool"),
+		active:  reg.Gauge("runner_workers_active", "Pool worker goroutines currently executing a batch"),
+	})
+}

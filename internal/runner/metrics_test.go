@@ -1,0 +1,52 @@
+package runner
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smartexp3/internal/obsv"
+)
+
+// TestInstrumentCountsPoolWork pins the pool's counters: every task lands
+// in runner_runs_total exactly once whatever the worker count, batches are
+// counted per pool entry, and the active-worker gauge returns to zero when
+// the pool is quiescent.
+func TestInstrumentCountsPoolWork(t *testing.T) {
+	reg := obsv.NewRegistry()
+	Instrument(reg)
+	defer metrics.Store(nil) // leave the package uninstrumented for other tests
+
+	read := func() map[string]any {
+		t.Helper()
+		var b strings.Builder
+		if err := reg.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]any)
+		if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	const n = 50
+	var runs, batches float64
+	for _, workers := range []int{1, 4} {
+		if err := ForEach(workers, n, func(i int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		runs += n
+		batches++
+		m := read()
+		if got := m["runner_runs_total"].(float64); got != runs {
+			t.Fatalf("workers=%d: runner_runs_total = %v, want %v", workers, got, runs)
+		}
+		if got := m["runner_batches_total"].(float64); got != batches {
+			t.Fatalf("workers=%d: runner_batches_total = %v, want %v", workers, got, batches)
+		}
+		if got := m["runner_workers_active"].(float64); got != 0 {
+			t.Fatalf("workers=%d: %v workers still active after the batch", workers, got)
+		}
+	}
+}

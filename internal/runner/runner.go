@@ -104,12 +104,23 @@ func MergeOrderedPooled[S, T any](workers, n int, newState func() S, do func(s S
 	if workers > n {
 		workers = n
 	}
+	m := metrics.Load()
+	if m != nil {
+		m.batches.Inc()
+	}
 	if workers == 1 {
+		if m != nil {
+			m.active.Add(1)
+			defer m.active.Add(-1)
+		}
 		s := newState()
 		for i := 0; i < n; i++ {
 			v, err := do(s, i)
 			if err != nil {
 				return fmt.Errorf("runner: run %d: %w", i, err)
+			}
+			if m != nil {
+				m.runs.Inc()
 			}
 			if err := merge(i, v); err != nil {
 				return fmt.Errorf("runner: merge %d: %w", i, err)
@@ -164,6 +175,10 @@ func MergeOrderedPooled[S, T any](workers, n int, newState func() S, do func(s S
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if m != nil {
+				m.active.Add(1)
+				defer m.active.Add(-1)
+			}
 			s := newState()
 			for {
 				i, ok := claim()
@@ -173,6 +188,8 @@ func MergeOrderedPooled[S, T any](workers, n int, newState func() S, do func(s S
 				v, err := do(s, i)
 				if err != nil {
 					fail()
+				} else if m != nil {
+					m.runs.Inc()
 				}
 				results <- indexed[T]{i: i, v: v, err: err}
 			}

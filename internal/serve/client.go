@@ -56,6 +56,13 @@ type ClientOptions struct {
 	// FallbackProbe is how long a degraded client waits between probes of
 	// the daemon; zero means 1 second.
 	FallbackProbe time.Duration
+
+	// Metrics, when set, receives the client's resilience counters —
+	// typically a NewClientMetrics set registered on an obsv.Registry,
+	// shared across redials of one logical client. Nil means a private
+	// unregistered set; the Reconnects/DroppedFeedback accessors read
+	// whichever set is in use.
+	Metrics *ClientMetrics
 }
 
 func (o ClientOptions) dialTimeout() time.Duration {
@@ -173,9 +180,8 @@ type Client struct {
 	degraded      bool      // serving from opts.Fallback
 	degradedUntil time.Time // next daemon probe not before this instant
 
-	rng             *rand.Rand // backoff jitter
-	reconnects      uint64
-	droppedFeedback uint64
+	rng *rand.Rand     // backoff jitter
+	m   *ClientMetrics // never nil; from opts.Metrics or a private set
 }
 
 // Dial connects and handshakes. Unless ClientOptions.Redial is set, the
@@ -207,7 +213,10 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 // end of a pipe). The client owns conn afterwards. Without opts.Redial the
 // client cannot recover from transport failures and fails fast instead.
 func NewClient(conn net.Conn, opts ClientOptions) (*Client, error) {
-	c := &Client{opts: opts, slots: make(map[uint64]selection)}
+	c := &Client{opts: opts, slots: make(map[uint64]selection), m: opts.Metrics}
+	if c.m == nil {
+		c.m = newClientMetrics()
+	}
 	if err := c.handshake(conn); err != nil {
 		return nil, err
 	}
@@ -220,11 +229,11 @@ func (c *Client) Algorithm() string { return c.algorithm }
 
 // Reconnects returns how many times the client re-established its
 // connection after the initial dial.
-func (c *Client) Reconnects() uint64 { return c.reconnects }
+func (c *Client) Reconnects() uint64 { return c.m.Reconnects.Value() }
 
 // DroppedFeedback returns how many buffered reports the overload guard
 // discarded because the daemon stayed unreachable past the buffer bound.
-func (c *Client) DroppedFeedback() uint64 { return c.droppedFeedback }
+func (c *Client) DroppedFeedback() uint64 { return c.m.DroppedFeedback.Value() }
 
 // Degraded reports whether the client is currently serving selections from
 // its local Fallback store instead of the daemon.
@@ -309,6 +318,7 @@ func (c *Client) dropConn(cause error) {
 	}
 	c.connected = false
 	if len(c.sent) > 0 {
+		c.m.FeedbackResent.Add(uint64(len(c.sent)))
 		c.batch = append(c.sent, c.batch...)
 		c.sent = nil
 	}
@@ -330,6 +340,7 @@ func (c *Client) ensureConn() error {
 	if c.opts.Redial == nil {
 		return errors.New("serve: disconnected and no redialer configured")
 	}
+	c.m.Redials.Inc()
 	conn, err := c.opts.Redial()
 	if err != nil {
 		return err
@@ -338,7 +349,7 @@ func (c *Client) ensureConn() error {
 		conn.Close()
 		return err
 	}
-	c.reconnects++
+	c.m.Reconnects.Inc()
 	return nil
 }
 
@@ -416,7 +427,7 @@ func (c *Client) trimFeedback() {
 	}
 	kept := copy(c.batch, c.batch[over:])
 	c.batch = c.batch[:kept]
-	c.droppedFeedback += uint64(over)
+	c.m.DroppedFeedback.Add(uint64(over))
 }
 
 // Select flushes buffered feedback, then asks which arm device should use
@@ -485,6 +496,7 @@ func (c *Client) enterFallback(device uint64, arms []int, cause error) (int, err
 		return -1, cause
 	}
 	c.degraded = true
+	c.m.FallbackActivations.Inc()
 	c.degradedUntil = time.Now().Add(c.opts.fallbackProbe())
 	arm, _, err := c.fallbackSelect(device, arms)
 	return arm, err

@@ -20,6 +20,10 @@ type ServerOptions struct {
 	// Zero means 2 minutes, mirroring the cluster layer; negative
 	// disables deadlines (tests with synchronous pipes).
 	FrameTimeout time.Duration
+	// Metrics, when set, counts accepted connections and per-frame wire
+	// traffic (a NewServerMetrics set registered on an obsv.Registry).
+	// Nil disables connection-level instrumentation entirely.
+	Metrics *ServerMetrics
 }
 
 func (o ServerOptions) frameTimeout() time.Duration {
@@ -100,6 +104,13 @@ func (s *Server) serveConn(conn net.Conn) error {
 	fr := cluster.NewFrameReader(bufio.NewReaderSize(conn, 32<<10))
 	bw := bufio.NewWriterSize(conn, 32<<10)
 	fw := cluster.NewFrameWriter(bw)
+	if m := s.opts.Metrics; m != nil {
+		m.Connections.Inc()
+		m.Active.Add(1)
+		defer m.Active.Add(-1)
+		fr.Instrument(m.FramesRead, m.BytesRead)
+		fw.Instrument(m.FramesWritten, m.BytesWritten)
+	}
 	send := func(env *serveEnvelope) error {
 		if wt > 0 {
 			if err := conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {

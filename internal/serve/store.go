@@ -90,6 +90,7 @@ type shard struct {
 	mu      sync.Mutex
 	devices map[uint64]*device
 	free    []*device
+	stats   shardStats // counted under mu only when the store is instrumented
 }
 
 // Store holds the per-device policy state behind the service. All methods
@@ -101,6 +102,7 @@ type Store struct {
 	devices atomic.Int64  // active device sessions
 	dropped atomic.Uint64 // feedback/slots discarded for not matching a pending selection
 	evicted atomic.Uint64 // sessions retired by idle eviction
+	m       *storeMetrics // nil until Instrument; set before traffic starts
 }
 
 // NewStore builds an empty store. The algorithm is validated eagerly — a
@@ -159,6 +161,13 @@ func (s *Store) Select(deviceID uint64, arms []int) (int, uint64, error) {
 	sh := &s.shards[s.shardIndex(deviceID)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	var start time.Time
+	if s.m != nil {
+		sh.stats.selects++
+		if sh.stats.selects&selectSampleMask == 0 {
+			start = time.Now()
+		}
+	}
 	dev := sh.devices[deviceID]
 	if dev == nil {
 		var err error
@@ -173,6 +182,12 @@ func (s *Store) Select(deviceID uint64, arms []int) (int, uint64, error) {
 	}
 	if dev.pending >= 0 {
 		if equalArms(dev.policy.Available(), arms) {
+			if s.m != nil {
+				sh.stats.dedupHits++
+				if !start.IsZero() {
+					s.m.selectLatency.Observe(time.Since(start).Nanoseconds())
+				}
+			}
 			return dev.pending, dev.slot, nil // lost-response retry: same slot, same arm
 		}
 		// The arm set moved under an unanswered selection. Settle the
@@ -188,6 +203,9 @@ func (s *Store) Select(deviceID uint64, arms []int) (int, uint64, error) {
 	}
 	arm := dev.policy.Select()
 	dev.pending = arm
+	if !start.IsZero() {
+		s.m.selectLatency.Observe(time.Since(start).Nanoseconds())
+	}
 	return arm, dev.slot, nil
 }
 
@@ -244,6 +262,9 @@ func (s *Store) feedbackLocked(sh *shard, deviceID uint64, arm int, slot uint64,
 	dev.policy.Observe(reward) // core clamps to [0,1]
 	dev.pending = -1
 	dev.slot++
+	if s.m != nil {
+		sh.stats.feedbacks++
+	}
 	return true
 }
 
