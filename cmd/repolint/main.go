@@ -1,0 +1,70 @@
+// Command repolint runs the repo's custom analyzer suite
+// (internal/analysis) over a package pattern and reports contract
+// violations as "file:line: [check] message" lines, exiting nonzero
+// when any survive their waivers.
+//
+// Usage:
+//
+//	repolint [-checks determinism,allocfree,wiredeadline,seedpurity] [packages]
+//
+// With no packages it analyzes ./.... The four checks enforce the
+// determinism and zero-allocation contracts statically; see the
+// internal/analysis package documentation for what each check flags and
+// for the //repolint:ignore waiver syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"smartexp3/internal/analysis"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	dirFlag := flag.String("C", ".", "directory to run the go toolchain from")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [flags] [packages]\n\nchecks:\n")
+		for _, c := range analysis.Checks() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", c.Name, c.Doc)
+		}
+		fmt.Fprintln(flag.CommandLine.Output(), "\nflags:")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	checks, err := analysis.SelectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, im, err := analysis.Load(*dirFlag, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	cfg := analysis.DefaultConfig(im.Module())
+	diags := analysis.Analyze(pkgs, &cfg, checks)
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		// Render paths relative to the working directory when possible;
+		// diagnostics double as clickable editor locations.
+		name := d.Pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, d.Pos.Line, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

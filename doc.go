@@ -25,7 +25,7 @@
 //
 // Select among three networks with Smart EXP3, observing gains in [0,1]:
 //
-//	rng := rand.New(rand.NewSource(1))
+//	rng := smartexp3.NewRNG(1)
 //	policy, err := smartexp3.NewPolicy(smartexp3.AlgSmartEXP3, []int{0, 1, 2}, rng)
 //	if err != nil { ... }
 //	for t := 0; t < horizon; t++ {
@@ -132,6 +132,17 @@
 // shard lock plus a 1-in-64 sampled latency probe — the path measures 0
 // allocs/op with instrumentation attached, enforced by the same CI gate
 // that guards the engine's allocation budget.
+//
+// The two contracts above — determinism and zero-allocation hot paths —
+// are enforced at the source level by a custom static analyzer suite
+// (internal/analysis, run as cmd/repolint in CI): pure-path packages must
+// not read clocks, ambient RNG state, or map iteration order; functions
+// marked //repolint:allocfree must avoid allocation constructs and each
+// marker must be pinned by a testing.AllocsPerRun gate (a reconciliation
+// test keeps markers and gates in lockstep); every wire write must arm a
+// deadline; and RNG state may only be built from rngutil seeds. Findings
+// are suppressed only by //repolint:ignore waivers that carry a written
+// reason, and malformed waivers are findings themselves.
 //
 // The determinism contract ties the layers together: per-run seeds are a
 // pure function of (base seed, stream ids, run index) via

@@ -49,14 +49,14 @@ func main() {
 }
 
 func run() error {
-	envRng := rand.New(rand.NewSource(99))
+	envRng := smartexp3.NewRNG(smartexp3.ChildSeed(99, -1))
 	channels := []int{0, 1, 2}
 	capacity := 30.0 // Mbps of airtime per channel
 
 	policies := make([]smartexp3.Policy, numAPs)
 	for ap := range policies {
 		pol, err := smartexp3.NewPolicy(smartexp3.AlgSmartEXP3, channels,
-			rand.New(rand.NewSource(int64(ap+1))))
+			smartexp3.NewRNG(smartexp3.ChildSeed(99, int64(ap))))
 		if err != nil {
 			return err
 		}

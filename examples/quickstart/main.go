@@ -7,7 +7,6 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 
 	"smartexp3"
@@ -32,7 +31,7 @@ func run() error {
 func singleDevice() error {
 	fmt.Println("-- single device, three networks (true rates 4, 7, 22 Mbps) --")
 	rates := []float64{4, 7, 22}
-	rng := rand.New(rand.NewSource(7))
+	rng := smartexp3.NewRNG(7)
 
 	policy, err := smartexp3.NewPolicy(smartexp3.AlgSmartEXP3, []int{0, 1, 2}, rng)
 	if err != nil {

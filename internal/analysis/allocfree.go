@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runAllocFree scans every //repolint:allocfree-marked function for
+// AST-level allocation sources. The check is conservative by design:
+// some flagged constructs (append into retained capacity, composite
+// literals that never escape) are allocation-free at runtime — those
+// carry waivers whose reasons document why, and the AllocsPerRun gates
+// bound to each marker (see the reconciliation test) remain the
+// dynamic ground truth.
+func runAllocFree(p *Package, cfg *Config) []Diagnostic {
+	dirs := parseDirectives(p)
+	var out []Diagnostic
+	for _, m := range dirs.markers {
+		if m.Decl.Body == nil {
+			continue
+		}
+		out = append(out, allocSources(p, m)...)
+	}
+	return out
+}
+
+func allocSources(p *Package, m AllocMarker) []Diagnostic {
+	var out []Diagnostic
+	diag := func(n ast.Node, msg string) {
+		out = append(out, Diagnostic{
+			Pos:     p.Fset.Position(n.Pos()),
+			Check:   CheckAllocFree,
+			Message: m.Name + " is marked allocfree but " + msg,
+		})
+	}
+	ast.Inspect(m.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(p, n, diag)
+		case *ast.CompositeLit:
+			diag(n, "builds a composite literal (may escape to the heap)")
+		case *ast.FuncLit:
+			if captured := capturedVar(p, m.Decl, n); captured != "" {
+				diag(n, "creates a closure capturing "+captured+" (closure + captures escape to the heap)")
+			}
+		case *ast.BinaryExpr:
+			// Constant folds ("a"+"b") materialize at compile time.
+			if n.Op == token.ADD && isStringType(p, n) {
+				if tv, ok := p.Info.Types[n]; ok && tv.Value == nil {
+					diag(n, "concatenates strings (allocates the result)")
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(p, n.Lhs[0]) {
+				diag(n, "concatenates strings with += (allocates the result)")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkAllocCall flags allocation-source call expressions: the
+// new/make/append builtins, fmt/errors calls, allocating conversions,
+// and non-pointer concrete arguments passed to interface parameters.
+func checkAllocCall(p *Package, call *ast.CallExpr, diag func(ast.Node, string)) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new", "make", "append":
+				diag(call, "calls "+b.Name()+" (allocates unless capacity is retained)")
+			}
+			return
+		}
+	}
+	if pkg, name, ok := pkgFuncOf(p, fun); ok && (pkg == "fmt" || pkg == "errors") {
+		diag(call, "calls "+pkg+"."+name+" (formats and allocates)")
+		return
+	}
+	tv, ok := p.Info.Types[fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		checkConversion(p, call, tv.Type, diag)
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	checkInterfaceArgs(p, call, sig, diag)
+}
+
+// checkConversion flags explicit conversions that allocate: concrete
+// non-pointer values into interfaces, and string↔[]byte/[]rune copies.
+func checkConversion(p *Package, call *ast.CallExpr, target types.Type, diag func(ast.Node, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	at, ok := p.Info.Types[call.Args[0]]
+	if !ok || at.Type == nil {
+		return
+	}
+	if types.IsInterface(target.Underlying()) && allocatesAsInterface(at) {
+		diag(call, "converts a non-pointer concrete value into an interface (boxes on the heap)")
+		return
+	}
+	tu, au := target.Underlying(), at.Type.Underlying()
+	if isStringOrByteRuneSlice(tu) && isStringOrByteRuneSlice(au) && isString(tu) != isString(au) {
+		diag(call, "converts between string and byte/rune slice (copies into a fresh allocation)")
+	}
+}
+
+// checkInterfaceArgs flags call arguments whose value must be boxed
+// into an interface parameter.
+func checkInterfaceArgs(p *Package, call *ast.CallExpr, sig *types.Signature, diag func(ast.Node, string)) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = last // pass-through slice, no boxing
+			} else if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		if at, ok := p.Info.Types[arg]; ok && allocatesAsInterface(at) {
+			diag(arg, "passes a non-pointer concrete value to an interface parameter (boxes on the heap)")
+		}
+	}
+}
+
+// allocatesAsInterface reports whether storing the value in an
+// interface requires a heap allocation: a non-constant, non-pointer-
+// shaped concrete value.
+func allocatesAsInterface(tv types.TypeAndValue) bool {
+	if tv.Type == nil || tv.Value != nil || tv.IsNil() {
+		return false // constants and nil are materialized statically
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Interface:
+		return false // already boxed
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: the data word holds the value
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	default:
+		return true // structs, arrays, slices, strings box
+	}
+}
+
+// capturedVar returns the name of a variable the closure captures from
+// its enclosing function, or "" when the closure is capture-free (a
+// static func value, which does not allocate).
+func capturedVar(p *Package, encl *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == p.Types.Scope() || v.Parent() == types.Universe {
+			return true // package-level or universe: not captured
+		}
+		// Declared inside the enclosing declaration but outside the
+		// literal → captured.
+		if v.Pos() >= encl.Pos() && v.Pos() < encl.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+func isStringType(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Type != nil && isString(tv.Type.Underlying())
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringOrByteRuneSlice(t types.Type) bool {
+	if isString(t) {
+		return true
+	}
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandFuncs are the math/rand top-level functions that draw from
+// the package-global source — ambient state no seed controls.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// globalRandV2Funcs is the same set for math/rand/v2.
+var globalRandV2Funcs = map[string]bool{
+	"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "N": true,
+}
+
+// runDeterminism enforces the Section II determinism contract in the
+// pure-path packages: no wall clocks, no ambient RNG state, no map
+// iteration order reaching results (waivable when the fold is provably
+// order-independent).
+func runDeterminism(p *Package, cfg *Config) []Diagnostic {
+	if !containsPath(cfg.PurePackages, p.Path) {
+		return nil
+	}
+	var out []Diagnostic
+	diag := func(n ast.Node, msg string) {
+		out = append(out, Diagnostic{Pos: p.Fset.Position(n.Pos()), Check: CheckDeterminism, Message: msg})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				pkg, name, ok := pkgFuncOf(p, n.Fun)
+				if !ok {
+					return true
+				}
+				switch pkg {
+				case "time":
+					if name == "Now" || name == "Since" {
+						diag(n, "time."+name+" reads the wall clock; pure-path results must be a function of seeds only")
+					}
+				case "math/rand":
+					switch {
+					case globalRandFuncs[name]:
+						diag(n, "rand."+name+" draws from the global math/rand source; use the run's rngutil stream")
+					case name == "NewSource" && p.Path != cfg.RNGPackage:
+						diag(n, "rand.NewSource outside "+cfg.RNGPackage+"; derive streams with rngutil.ChildSeed + rngutil.NewSource")
+					}
+				case "math/rand/v2":
+					switch {
+					case globalRandV2Funcs[name]:
+						diag(n, "rand/v2."+name+" draws from the global math/rand/v2 source; use the run's rngutil stream")
+					case (name == "NewPCG" || name == "NewChaCha8") && p.Path != cfg.RNGPackage:
+						diag(n, "rand/v2."+name+" outside "+cfg.RNGPackage+"; derive streams with rngutil.ChildSeed + rngutil.NewSource")
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						diag(n, "range over map: iteration order is runtime-randomized; waive only with a reason stating order cannot reach results")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comments understood by the suite. Anything else spelled
+// "//repolint:..." is reported as a diagnostic rather than ignored, so a
+// typo ("//repolint:ignores") cannot silently disable enforcement.
+const (
+	directivePrefix  = "//repolint:"
+	ignoreDirective  = "ignore"
+	markerDirective  = "allocfree"
+	markerViaKeyword = "via"
+)
+
+// AllocMarker is one //repolint:allocfree marker bound to a function
+// declaration.
+type AllocMarker struct {
+	Decl *ast.FuncDecl
+	Name string // "Func" or "Type.Method" (pointer receivers stripped)
+	Via  string // covering AllocsPerRun test for indirect gates, or ""
+	Pos  token.Position
+}
+
+// waiverKey identifies one waived (line, check) pair within a file.
+type waiverKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// directives holds one package's parsed repolint comments.
+type directives struct {
+	waivers map[waiverKey]bool
+	markers []AllocMarker
+	diags   []Diagnostic
+}
+
+// waived reports whether check diagnostics at pos are suppressed.
+func (d *directives) waived(check string, pos token.Position) bool {
+	return d.waivers[waiverKey{pos.Filename, pos.Line, check}]
+}
+
+// parseDirectives scans every comment in the package for repolint
+// directives: waivers, allocfree markers, and malformed variants of
+// either (which become diagnostics).
+func parseDirectives(p *Package) *directives {
+	d := &directives{waivers: make(map[waiverKey]bool)}
+	for _, f := range p.Files {
+		markerGroups := make(map[*ast.CommentGroup]bool)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			markerGroups[fd.Doc] = true
+			for _, c := range fd.Doc.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d.parseOne(p, c, fd)
+			}
+		}
+		for _, cg := range f.Comments {
+			if markerGroups[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d.parseOne(p, c, nil)
+			}
+		}
+	}
+	return d
+}
+
+// parseOne parses a single "//repolint:..." comment. fd is the function
+// declaration whose doc comment contains it, or nil for free-standing
+// comments (where an allocfree marker is an error).
+func (d *directives) parseOne(p *Package, c *ast.Comment, fd *ast.FuncDecl) {
+	pos := p.Fset.Position(c.Pos())
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	fields := strings.Fields(rest)
+	verb := ""
+	if len(fields) > 0 {
+		verb = fields[0]
+	}
+	switch verb {
+	case ignoreDirective:
+		d.parseIgnore(p, c, pos, fields[1:])
+	case markerDirective:
+		d.parseMarker(p, pos, fields[1:], fd)
+	default:
+		// "//repolint:ignores", "//repolint:" and the like: a
+		// directive-shaped prefix with an unknown verb.
+		d.diags = append(d.diags, Diagnostic{
+			Pos:     pos,
+			Check:   CheckWaiver,
+			Message: "unknown repolint directive " + strings.TrimSpace(c.Text) + " (want //repolint:ignore or //repolint:allocfree)",
+		})
+	}
+}
+
+func (d *directives) parseIgnore(p *Package, c *ast.Comment, pos token.Position, args []string) {
+	if len(args) == 0 {
+		d.diags = append(d.diags, Diagnostic{
+			Pos:     pos,
+			Check:   CheckWaiver,
+			Message: "waiver names no check: want //repolint:ignore <check> <reason>",
+		})
+		return
+	}
+	check := args[0]
+	if !knownCheck(check) {
+		d.diags = append(d.diags, Diagnostic{
+			Pos:     pos,
+			Check:   CheckWaiver,
+			Message: "waiver names unknown check " + check + " (have " + checkNames(Checks()) + ")",
+		})
+		return
+	}
+	if len(args) == 1 {
+		d.diags = append(d.diags, Diagnostic{
+			Pos:     pos,
+			Check:   CheckWaiver,
+			Message: "waiver for " + check + " carries no reason: every waiver must say why the finding does not apply",
+		})
+		return
+	}
+	d.waivers[waiverKey{pos.Filename, pos.Line, check}] = true
+	if d.ownLine(p, c) {
+		d.waivers[waiverKey{pos.Filename, pos.Line + 1, check}] = true
+	}
+}
+
+func (d *directives) parseMarker(p *Package, pos token.Position, args []string, fd *ast.FuncDecl) {
+	if fd == nil {
+		d.diags = append(d.diags, Diagnostic{
+			Pos:     pos,
+			Check:   CheckWaiver,
+			Message: "orphaned //repolint:allocfree marker: markers must sit in a function declaration's doc comment",
+		})
+		return
+	}
+	via := ""
+	switch {
+	case len(args) == 0:
+	case len(args) == 2 && args[0] == markerViaKeyword:
+		via = args[1]
+	default:
+		d.diags = append(d.diags, Diagnostic{
+			Pos:     pos,
+			Check:   CheckWaiver,
+			Message: "malformed allocfree marker: want //repolint:allocfree or //repolint:allocfree via TestName",
+		})
+		return
+	}
+	d.markers = append(d.markers, AllocMarker{
+		Decl: fd,
+		Name: funcName(fd),
+		Via:  via,
+		Pos:  pos,
+	})
+}
+
+// ownLine reports whether comment c is the only thing on its source
+// line, in which case its waiver also covers the following line.
+func (d *directives) ownLine(p *Package, c *ast.Comment) bool {
+	pos := p.Fset.Position(c.Pos())
+	src, ok := p.Src[pos.Filename]
+	if !ok {
+		return false
+	}
+	// Scan from the start of the line to the comment: whitespace only
+	// means the comment stands alone.
+	off := pos.Offset
+	for i := off - 1; i >= 0; i-- {
+		switch src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+			continue
+		default:
+			return false
+		}
+	}
+	return true // first line of the file
+}
+
+// funcName renders a declaration's name as "Func" or "Type.Method".
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers ("weightSet[T]") index the base identifier.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// MarkersInFile returns the allocfree markers declared in one parsed
+// file, without needing type information. The reconciliation test uses
+// this to treat markers as the single source of truth for the
+// zero-alloc set.
+func MarkersInFile(fset *token.FileSet, f *ast.File) []AllocMarker {
+	var out []AllocMarker
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix+markerDirective)
+			if !ok {
+				continue
+			}
+			args := strings.Fields(rest)
+			via := ""
+			if len(args) == 2 && args[0] == markerViaKeyword {
+				via = args[1]
+			} else if len(args) != 0 {
+				continue // malformed; parseDirectives reports it
+			}
+			out = append(out, AllocMarker{
+				Decl: fd,
+				Name: funcName(fd),
+				Via:  via,
+				Pos:  fset.Position(c.Pos()),
+			})
+		}
+	}
+	return out
+}

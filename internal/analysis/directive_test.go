@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc builds a Package with syntax and retained source only — the
+// directive parser never consults type information.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture source: %v", err)
+	}
+	return &Package{
+		Path:  "fixture/inline",
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Src:   map[string][]byte{"fix.go": []byte(src)},
+	}
+}
+
+// TestWaiverParserDiagnostics feeds the parser every malformed directive
+// shape and asserts each one surfaces as a waiver diagnostic — a typo
+// must never silently disable enforcement.
+func TestWaiverParserDiagnostics(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantMsg string
+	}{
+		{
+			name:    "unknown verb",
+			src:     "package x\n\n//repolint:ignores determinism some reason\nfunc A() {}\n",
+			wantMsg: "unknown repolint directive",
+		},
+		{
+			name:    "bare prefix",
+			src:     "package x\n\n//repolint:\nfunc A() {}\n",
+			wantMsg: "unknown repolint directive",
+		},
+		{
+			name:    "unknown check",
+			src:     "package x\n\n//repolint:ignore determinsim some reason\nfunc A() {}\n",
+			wantMsg: "unknown check determinsim",
+		},
+		{
+			name:    "missing reason",
+			src:     "package x\n\n//repolint:ignore determinism\nfunc A() {}\n",
+			wantMsg: "carries no reason",
+		},
+		{
+			name:    "missing check",
+			src:     "package x\n\n//repolint:ignore\nfunc A() {}\n",
+			wantMsg: "names no check",
+		},
+		{
+			name:    "orphaned marker",
+			src:     "package x\n\n//repolint:allocfree\nvar n int\n",
+			wantMsg: "orphaned //repolint:allocfree marker",
+		},
+		{
+			name:    "malformed via",
+			src:     "package x\n\n//repolint:allocfree via Too Many Words\nfunc A() {}\n",
+			wantMsg: "malformed allocfree marker",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := parseDirectives(parseSrc(t, tc.src))
+			if len(d.diags) != 1 {
+				t.Fatalf("got %d diagnostics %v, want exactly 1", len(d.diags), d.diags)
+			}
+			got := d.diags[0]
+			if got.Check != CheckWaiver {
+				t.Errorf("diagnostic filed under %q, want %q", got.Check, CheckWaiver)
+			}
+			if !strings.Contains(got.Message, tc.wantMsg) {
+				t.Errorf("message %q does not mention %q", got.Message, tc.wantMsg)
+			}
+			if len(d.waivers) != 0 {
+				t.Errorf("malformed directive registered waivers %v", d.waivers)
+			}
+		})
+	}
+}
+
+// TestWaiverLineCoverage pins the suppression geometry: a waiver on its
+// own line covers that line and the next; a trailing waiver covers only
+// its own line.
+func TestWaiverLineCoverage(t *testing.T) {
+	src := `package x
+
+func A(m map[int]int) int {
+	var s int
+	//repolint:ignore determinism order cannot reach results: sum is commutative
+	for _, v := range m {
+		s += v
+	}
+	for k := range m { //repolint:ignore determinism order cannot reach results: delete is order-free
+		delete(m, k)
+	}
+	return s
+}
+`
+	d := parseDirectives(parseSrc(t, src))
+	if len(d.diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", d.diags)
+	}
+	at := func(line int) bool {
+		return d.waived(CheckDeterminism, token.Position{Filename: "fix.go", Line: line})
+	}
+	// Own-line waiver on line 5 covers lines 5 and 6.
+	if !at(5) || !at(6) {
+		t.Error("own-line waiver does not cover the following line")
+	}
+	// Trailing waiver on line 9 covers line 9 only.
+	if !at(9) {
+		t.Error("trailing waiver does not cover its own line")
+	}
+	if at(10) {
+		t.Error("trailing waiver leaked onto the following line")
+	}
+	// A waiver never crosses checks.
+	if d.waived(CheckAllocFree, token.Position{Filename: "fix.go", Line: 5}) {
+		t.Error("waiver for determinism suppressed allocfree")
+	}
+}
+
+// TestMarkerParsing pins the marker side of the parser: bare markers,
+// via-markers, and receiver naming.
+func TestMarkerParsing(t *testing.T) {
+	src := `package x
+
+type ring struct{ n int }
+
+//repolint:allocfree
+func (r *ring) Push() { r.n++ }
+
+// Pop is documented prose followed by a marker.
+//
+//repolint:allocfree via TestPopAllocs
+func (r ring) Pop() int { return r.n }
+
+//repolint:allocfree
+func Reset() {}
+`
+	d := parseDirectives(parseSrc(t, src))
+	if len(d.diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", d.diags)
+	}
+	if len(d.markers) != 3 {
+		t.Fatalf("got %d markers, want 3", len(d.markers))
+	}
+	byName := make(map[string]AllocMarker)
+	for _, m := range d.markers {
+		byName[m.Name] = m
+	}
+	if m, ok := byName["ring.Push"]; !ok || m.Via != "" {
+		t.Errorf("ring.Push marker missing or has via %q", m.Via)
+	}
+	if m, ok := byName["ring.Pop"]; !ok || m.Via != "TestPopAllocs" {
+		t.Errorf("ring.Pop marker missing or via %q, want TestPopAllocs", m.Via)
+	}
+	if _, ok := byName["Reset"]; !ok {
+		t.Error("plain function marker missing")
+	}
+
+	// MarkersInFile (the syntax-only view the reconciliation test uses)
+	// must agree with the full parse.
+	p := parseSrc(t, src)
+	mif := MarkersInFile(p.Fset, p.Files[0])
+	if len(mif) != 3 {
+		t.Fatalf("MarkersInFile found %d markers, want 3", len(mif))
+	}
+}

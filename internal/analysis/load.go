@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the slice of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+}
+
+// Importer owns one `go list -deps -export` run: the export-data map
+// for every package in the dependency closure, and the main-module
+// package listing. It can load those packages (Load) or type-check
+// arbitrary extra files against the same dependency graph (Check, used
+// by the fixture tests). See the package doc's "Loading strategy".
+type Importer struct {
+	dir     string
+	fset    *token.FileSet
+	exports map[string]string // import path → export data file
+	imp     types.Importer
+	listed  []listedPackage // main-module packages, listing order
+	module  string
+}
+
+// NewImporter lists patterns (typically "./...") rooted at dir,
+// compiling stale dependencies as a side effect so that export data
+// exists for the whole closure.
+func NewImporter(dir string, patterns ...string) (*Importer, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	im := &Importer{
+		dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			im.exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.Main && !p.Standard {
+			im.listed = append(im.listed, p)
+			im.module = p.Module.Path
+		}
+	}
+	im.imp = importer.ForCompiler(im.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := im.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not in the listed dependency closure)", path)
+		}
+		return os.Open(f)
+	})
+	return im, nil
+}
+
+// Module returns the main module's path.
+func (im *Importer) Module() string { return im.module }
+
+// Fset returns the file set all loaded packages share.
+func (im *Importer) Fset() *token.FileSet { return im.fset }
+
+// Load parses and type-checks every main-module package from the
+// listing, in deterministic (import path) order.
+func (im *Importer) Load() ([]*Package, error) {
+	listed := make([]listedPackage, len(im.listed))
+	copy(listed, im.listed)
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+	pkgs := make([]*Package, 0, len(listed))
+	for _, lp := range listed {
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		p, err := im.Check(lp.ImportPath, files...)
+		if err != nil {
+			return nil, err
+		}
+		p.Module = im.module
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Check parses and type-checks one package from explicit file paths,
+// resolving imports through the listing's export data. Every import
+// must be inside the listed dependency closure.
+func (im *Importer) Check(importPath string, filenames ...string) (*Package, error) {
+	p := &Package{
+		Path: importPath,
+		Fset: im.fset,
+		Src:  make(map[string][]byte, len(filenames)),
+	}
+	for _, name := range filenames {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(im.fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		p.Src[im.fset.Position(f.Pos()).Filename] = src
+		p.Files = append(p.Files, f)
+	}
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: im.imp, FakeImportC: true}
+	tp, err := conf.Check(importPath, im.fset, p.Files, p.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	p.Types = tp
+	return p, nil
+}
+
+// Load is the one-call loader cmd/repolint uses: list, parse and
+// type-check the main-module packages matched by patterns under dir.
+func Load(dir string, patterns ...string) ([]*Package, *Importer, error) {
+	im, err := NewImporter(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs, err := im.Load()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkgs, im, nil
+}

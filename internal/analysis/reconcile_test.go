@@ -1,0 +1,157 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartexp3/internal/analysis"
+)
+
+// allocGate is one test function that calls testing.AllocsPerRun, with
+// its body source retained for name matching.
+type allocGate struct {
+	name string
+	body string
+}
+
+// dirTests collects one package directory's parse results.
+type dirTests struct {
+	markers []analysis.AllocMarker
+	gates   []allocGate
+}
+
+// TestAllocfreeMarkersAreGated is the reconciliation satellite: the
+// //repolint:allocfree markers are the single source of truth for the
+// zero-alloc contract, so every marked function must be pinned by an
+// AllocsPerRun gate. A marker written "via TestName" requires that exact
+// test to exist in the same package and call testing.AllocsPerRun; a
+// bare marker requires some AllocsPerRun-calling test in the package to
+// invoke the function by name. A marker that fails here is a contract
+// with no enforcement — add the gate or name the covering test.
+func TestAllocfreeMarkersAreGated(t *testing.T) {
+	fset := token.NewFileSet()
+	perDir := make(map[string]*dirTests)
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		dt := perDir[dir]
+		if dt == nil {
+			dt = &dirTests{}
+			perDir[dir] = dt
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			dt.gates = append(dt.gates, gatesInFile(fset, f)...)
+			return nil
+		}
+		dt.markers = append(dt.markers, analysis.MarkersInFile(fset, f)...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for dir, dt := range perDir {
+		for _, m := range dt.markers {
+			total++
+			if m.Via != "" {
+				g := findGate(dt.gates, m.Via)
+				if g == nil {
+					t.Errorf("%s: %s is marked allocfree via %s, but no test of that name in %s calls testing.AllocsPerRun",
+						m.Pos, m.Name, m.Via, dir)
+				}
+				continue
+			}
+			if !anyGateMentions(dt.gates, m.Name) {
+				t.Errorf("%s: %s is marked allocfree, but no AllocsPerRun test in %s calls it; add a gate or point the marker at one with `via TestName`",
+					m.Pos, m.Name, dir)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("found no //repolint:allocfree markers anywhere in the repository — the walk is broken")
+	}
+}
+
+func findGate(gates []allocGate, name string) *allocGate {
+	for i := range gates {
+		if gates[i].name == name {
+			return &gates[i]
+		}
+	}
+	return nil
+}
+
+// anyGateMentions reports whether an AllocsPerRun test invokes the
+// marked function: "Type.Method" matches any ".Method(" call, a plain
+// function matches "Name(".
+func anyGateMentions(gates []allocGate, marker string) bool {
+	call := marker
+	if i := strings.LastIndex(marker, "."); i >= 0 {
+		call = "." + marker[i+1:]
+	}
+	call += "("
+	for _, g := range gates {
+		if strings.Contains(g.body, call) {
+			return true
+		}
+	}
+	return false
+}
+
+// gatesInFile extracts the test functions that call
+// testing.AllocsPerRun, keeping each body's source rendering for the
+// name matching above.
+func gatesInFile(fset *token.FileSet, f *ast.File) []allocGate {
+	var out []allocGate
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Test") {
+			continue
+		}
+		calls := false
+		var body strings.Builder
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok {
+					if id.Name == "testing" && n.Sel.Name == "AllocsPerRun" {
+						calls = true
+					}
+					body.WriteString(id.Name + "." + n.Sel.Name + "(")
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					body.WriteString(id.Name + "(")
+				}
+			}
+			return true
+		})
+		if calls {
+			out = append(out, allocGate{name: fd.Name.Name, body: body.String()})
+		}
+	}
+	return out
+}

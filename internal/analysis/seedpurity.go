@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// runSeedPurity flags RNG state constructed from anything but the
+// sanctioned rngutil primitives, everywhere outside the RNG package
+// itself. The contract (doc.go): per-run and per-device seeds are
+// rngutil.ChildSeed(base, stream...) — a pure function of the global
+// run index — and streams are rngutil.NewSource / rngutil.New. A
+// rand.NewSource or a rand.New over anything but a *rngutil.Source
+// creates a stream no seed accounting controls, which silently breaks
+// byte-identical replay.
+func runSeedPurity(p *Package, cfg *Config) []Diagnostic {
+	if p.Path == cfg.RNGPackage {
+		return nil
+	}
+	var out []Diagnostic
+	diag := func(n ast.Node, msg string) {
+		out = append(out, Diagnostic{Pos: p.Fset.Position(n.Pos()), Check: CheckSeedPurity, Message: msg})
+	}
+	rngSource := cfg.RNGPackage + ".Source"
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFuncOf(p, call.Fun)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "math/rand" && name == "NewSource":
+				diag(call, "rand.NewSource constructs RNG state outside "+shortPkg(cfg.RNGPackage)+"; derive the seed with rngutil.ChildSeed and build the stream with rngutil.NewSource")
+			case pkg == "math/rand/v2" && (name == "NewPCG" || name == "NewChaCha8"):
+				diag(call, "rand/v2."+name+" constructs RNG state outside "+shortPkg(cfg.RNGPackage)+"; derive the seed with rngutil.ChildSeed and build the stream with rngutil.NewSource")
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && name == "New":
+				if len(call.Args) == 1 {
+					if tv, ok := p.Info.Types[call.Args[0]]; ok && namedTypeString(tv.Type) == rngSource {
+						return true // rand.New over a rngutil.Source: the sanctioned construction
+					}
+				}
+				diag(call, "rand.New over a non-rngutil source constructs RNG state outside "+shortPkg(cfg.RNGPackage)+"; wrap a rngutil.NewSource(rngutil.ChildSeed(...)) stream instead")
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,34 @@
+// Package allocfree_bad marks one function allocfree and then commits
+// every allocation the check knows how to spot.
+package allocfree_bad
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+// sink exists so Push can box an argument into an interface parameter.
+func sink(v any) { _ = v }
+
+type ring struct {
+	buf []float64
+	sum float64
+}
+
+// Push is marked allocfree but trips every allocation source.
+//
+//repolint:allocfree
+func (r *ring) Push(v float64, name string) error {
+	r.buf = append(r.buf, v)
+	scratch := make([]float64, 4)
+	scratch[0] = v
+	p := new(float64)
+	*p = v
+	pt := point{x: v, y: v}
+	read := func() float64 { return r.sum }
+	r.sum += read()
+	label := name + "!"
+	boxed := any(pt)
+	sink(v)
+	_, _, _ = scratch, label, boxed
+	return fmt.Errorf("ring rejected %s", name)
+}

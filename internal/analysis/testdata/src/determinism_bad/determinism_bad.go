@@ -1,0 +1,29 @@
+// Package determinism_bad trips every rule of the determinism check; it
+// is analyzed as a pure-path package by the golden tests.
+package determinism_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock on the pure path.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Age measures elapsed wall time.
+func Age(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Draw consumes ambient process-global RNG state.
+func Draw() float64 { return rand.Float64() }
+
+// Fresh constructs an RNG source outside the sanctioned RNG package.
+func Fresh(seed int64) rand.Source { return rand.NewSource(seed) }
+
+// Sum folds over a map in iteration order with no waiver.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,25 @@
+// Package determinism_clean is a pure-path package that derives all
+// randomness from explicit seeds and waives its one map iteration with a
+// written reason; the golden file for it is empty.
+package determinism_clean
+
+import (
+	"sort"
+
+	"smartexp3/internal/rngutil"
+)
+
+// Draw derives a value from an explicit seed through rngutil.
+func Draw(seed int64) float64 { return rngutil.New(seed).Float64() }
+
+// Keys extracts map keys and sorts them before anything order-sensitive
+// can happen.
+func Keys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	//repolint:ignore determinism order cannot reach results: the keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

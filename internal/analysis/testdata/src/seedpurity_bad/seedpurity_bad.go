@@ -1,0 +1,8 @@
+// Package seedpurity_bad constructs RNG state from ad hoc sources
+// instead of rngutil's replicable ones.
+package seedpurity_bad
+
+import "math/rand"
+
+// Fresh builds both a raw source and a generator over it.
+func Fresh(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

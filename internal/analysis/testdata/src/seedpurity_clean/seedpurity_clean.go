@@ -1,0 +1,14 @@
+// Package seedpurity_clean derives every generator from rngutil's child
+// seeds and sources; the golden file for it is empty.
+package seedpurity_clean
+
+import (
+	"math/rand"
+
+	"smartexp3/internal/rngutil"
+)
+
+// Derived builds RNG state only through the sanctioned package.
+func Derived(seed, id int64) *rand.Rand {
+	return rand.New(rngutil.NewSource(rngutil.ChildSeed(seed, id)))
+}

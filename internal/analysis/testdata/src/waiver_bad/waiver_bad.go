@@ -1,0 +1,27 @@
+// Package waiver_bad misspells, under-specifies, and misplaces repolint
+// directives; every one of them must surface as a waiver diagnostic.
+package waiver_bad
+
+//repolint:ignores determinism the verb has a typo
+func A() {}
+
+//repolint:ignore determinsim the check name has a typo
+func B() {}
+
+//repolint:ignore determinism
+func C() {}
+
+//repolint:ignore
+func D() {}
+
+//repolint:allocfree
+var counter int
+
+//repolint:allocfree via Too Many Words
+func E() {}
+
+// F carries a well-formed waiver so the fixture also proves the parser
+// accepts what it should; nothing fires on F, so nothing is masked.
+//
+//repolint:ignore determinism order cannot reach results: nothing here iterates at all
+func F() { counter++ }

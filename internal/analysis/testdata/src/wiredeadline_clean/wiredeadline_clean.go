@@ -1,0 +1,34 @@
+// Package wiredeadline_clean arms a write deadline before every write —
+// or waives the one codec that delegates arming to its callers; the
+// golden file for it is empty.
+package wiredeadline_clean
+
+import (
+	"net"
+	"time"
+)
+
+// Send arms a deadline, then writes.
+func Send(c net.Conn, p []byte) error {
+	if err := c.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := c.Write(p)
+	return err
+}
+
+// Relay arms both deadlines at once via SetDeadline.
+func Relay(c net.Conn, p []byte) error {
+	if err := c.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := c.Write(p)
+	return err
+}
+
+// Raw is a transport-agnostic helper whose callers arm the deadline.
+func Raw(c net.Conn, p []byte) error {
+	//repolint:ignore wiredeadline codec helper: both exported callers in this fixture arm a deadline first
+	_, err := c.Write(p)
+	return err
+}

@@ -227,6 +227,8 @@ func (fw *FrameWriter) Encode(msg any) error {
 }
 
 // write encodes one cluster envelope (the package's own protocol).
+//
+//repolint:ignore wiredeadline transport-agnostic codec: every caller arms a per-frame deadline (epoch.write, the worker flush closure, serve writeFrame), pinned by the coordinator/worker deadline regression tests
 func (fw *FrameWriter) write(env *envelope) error { return fw.Encode(env) }
 
 // FrameReader reads length-prefixed, checksummed frames through one
@@ -246,7 +248,7 @@ type FrameReader struct {
 	payload []byte
 	cur     bytes.Reader
 	dec     *gob.Decoder
-	err     error // first failure; the stream is dead after one
+	err     error         // first failure; the stream is dead after one
 	frames  *obsv.Counter // optional; see Instrument
 	nbytes  *obsv.Counter
 }

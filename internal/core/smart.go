@@ -148,6 +148,8 @@ func (p *SmartEXP3) Probabilities() []float64 {
 
 // ensureProbs refreshes the cached distribution — and its argmax/extrema —
 // if weights or γ moved since it was last computed.
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (p *SmartEXP3) ensureProbs() {
 	if p.probsValid {
 		return
@@ -167,6 +169,8 @@ func (p *SmartEXP3) ensureProbs() {
 
 // armProb returns the selection probability of one arm in O(1), without
 // materializing the whole distribution.
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (p *SmartEXP3) armProb(li int) float64 {
 	if p.probsValid {
 		return p.probs[li]
@@ -184,6 +188,8 @@ func (p *SmartEXP3) Switches() int { return p.switches }
 func (p *SmartEXP3) SwitchBacks() int { return p.switchBacks }
 
 // Select implements Policy.
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (p *SmartEXP3) Select() int {
 	if p.needBlock {
 		p.startBlock()
@@ -197,6 +203,8 @@ func (p *SmartEXP3) Select() int {
 }
 
 // Observe implements Policy.
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (p *SmartEXP3) Observe(gain float64) {
 	gain = clamp01(gain)
 	p.totalSlots++
@@ -207,6 +215,7 @@ func (p *SmartEXP3) Observe(gain float64) {
 	// Trailing-window update by copy-shift: reslicing the head off would
 	// erode the buffer's capacity and force a reallocation every few blocks.
 	if len(p.window) < p.cfg.SwitchBackWindow {
+		//repolint:ignore allocfree append is bounded by SwitchBackWindow into a buffer Reinit pre-sizes to that capacity, so it never grows the backing array
 		p.window = append(p.window, gain)
 	} else {
 		copy(p.window, p.window[1:])
@@ -262,6 +271,7 @@ func (p *SmartEXP3) SetAvailable(networks []int) {
 	// Does a high-probability network disappear? (Smart EXP3 resets then.)
 	p.ensureProbs()
 	highProbRemoved := false
+	//repolint:ignore determinism order cannot reach results: the loop folds a commutative boolean OR over the removed set
 	for id := range removed {
 		if li, ok := p.index[id]; ok && li < len(p.probs) &&
 			p.probs[li] >= p.cfg.ResetProbability {

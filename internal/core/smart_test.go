@@ -478,3 +478,29 @@ func TestSelectionProbabilityBookkeeping(t *testing.T) {
 		p.Observe(rng.Float64())
 	}
 }
+
+// TestSmartEXP3WarmPathAllocs is the AllocsPerRun gate behind the
+// //repolint:allocfree markers on the engine's slot loop: Select, Observe,
+// ensureProbs, armProb and every weightSet primitive they drive (bump, fill,
+// prob, sample, treeAdd, search) must not allocate once the policy is past
+// its initial exploration and the window/memo buffers have reached capacity.
+func TestSmartEXP3WarmPathAllocs(t *testing.T) {
+	p := newSmart(t, AlgSmartEXP3, []int{0, 1, 2, 3}, 17)
+	slot := 0
+	step := func() {
+		net := p.Select()
+		p.Observe(float64(net%3) * 0.3 * (0.8 + 0.01*float64(slot%20)))
+		slot++
+	}
+	for i := 0; i < 2000; i++ { // warm: exploration done, buffers at capacity
+		step()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		step()
+		p.Probabilities() // forces ensureProbs on the filled cache
+		_ = p.armProb(1)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Select/Observe/ensureProbs path allocates %.2f objects per slot, want 0", allocs)
+	}
+}

@@ -94,6 +94,8 @@ func (w *weightSet) reshift() {
 
 // bump applies the multiplicative update w_i ← w_i·exp(delta), delta ≥ 0.
 // O(log k) amortized.
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (w *weightSet) bump(i int, delta float64) {
 	w.logW[i] += delta
 	if w.logW[i]-w.shift > weightReshiftSpan {
@@ -109,6 +111,8 @@ func (w *weightSet) bump(i int, delta float64) {
 
 // fill writes the selection distribution p_i = (1−γ)·w_i/Σw + γ/k into dst
 // (line 2 of Algorithm 1).
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (w *weightSet) fill(dst []float64, gamma float64) {
 	k := float64(len(w.logW))
 	for i, we := range w.wExp {
@@ -117,6 +121,8 @@ func (w *weightSet) fill(dst []float64, gamma float64) {
 }
 
 // prob returns one arm's selection probability in O(1).
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (w *weightSet) prob(i int, gamma float64) float64 {
 	return (1-gamma)*w.wExp[i]/w.sumW + gamma/float64(len(w.logW))
 }
@@ -124,12 +130,16 @@ func (w *weightSet) prob(i int, gamma float64) float64 {
 // sample draws an arm with probability proportional to its weight via an
 // O(log k) prefix-sum descent of the Fenwick tree. Callers mix in the γ/k
 // exploration term by decomposition (see SmartEXP3.sampleProbs).
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (w *weightSet) sample(rng *rand.Rand) int {
 	v := rng.Float64() * w.sumW
 	return w.search(v)
 }
 
 // treeAdd adds diff to element i (0-based) of the Fenwick tree.
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (w *weightSet) treeAdd(i int, diff float64) {
 	for j := i + 1; j < len(w.tree); j += j & (-j) {
 		w.tree[j] += diff
@@ -138,6 +148,8 @@ func (w *weightSet) treeAdd(i int, diff float64) {
 
 // search returns the smallest 0-based index whose prefix sum exceeds v.
 // Floating-point drift in sumW is absorbed by clamping to the last arm.
+//
+//repolint:allocfree via TestSmartEXP3WarmPathAllocs
 func (w *weightSet) search(v float64) int {
 	n := len(w.tree) - 1
 	bit := 1

@@ -317,6 +317,7 @@ func (in Instance) DistanceToNashGrouped(currentGains []float64) float64 {
 		groups[signature(dev.Available)] = append(groups[signature(dev.Available)], d)
 	}
 	var worst float64
+	//repolint:ignore determinism order cannot reach results: math.Max is a commutative fold and each group's distance is computed independently
 	for _, members := range groups {
 		cur := make([]float64, 0, len(members))
 		ne := make([]float64, 0, len(members))

@@ -152,6 +152,8 @@ func (e *DistanceEval) Reset(p *PreparedNE) {
 // It returns bit-identical results to the allocating form: members bucket
 // into groups in the same order, and each group's gains are sorted and
 // rank-matched identically.
+//
+//repolint:allocfree via TestDistanceEvalWarmAllocations
 func (e *DistanceEval) Distance(currentGains []float64, members []int) float64 {
 	p := e.p
 	for g := 0; g < p.nGroups; g++ {
@@ -161,13 +163,17 @@ func (e *DistanceEval) Distance(currentGains []float64, members []int) float64 {
 	if members == nil {
 		for d := range p.shares {
 			g := p.groupOf[d]
+			//repolint:ignore allocfree append into per-group scratch whose capacity Prepare sized to the full group and which is retained across calls
 			e.cur[g] = append(e.cur[g], currentGains[d])
+			//repolint:ignore allocfree append into per-group scratch whose capacity Prepare sized to the full group and which is retained across calls
 			e.ne[g] = append(e.ne[g], p.shares[d])
 		}
 	} else {
 		for _, d := range members {
 			g := p.groupOf[d]
+			//repolint:ignore allocfree append into per-group scratch whose capacity Prepare sized to the full group and which is retained across calls
 			e.cur[g] = append(e.cur[g], currentGains[d])
+			//repolint:ignore allocfree append into per-group scratch whose capacity Prepare sized to the full group and which is retained across calls
 			e.ne[g] = append(e.ne[g], p.shares[d])
 		}
 	}

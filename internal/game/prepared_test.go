@@ -1,6 +1,7 @@
 package game
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -97,5 +98,60 @@ func TestNashAssignmentFromScratchMatches(t *testing.T) {
 		if !in.IsNashAssignment(got) {
 			t.Fatalf("trial %d: scratch assignment is not a Nash equilibrium", trial)
 		}
+	}
+}
+
+// TestDistanceEvalWarmAllocations is the AllocsPerRun gate behind the
+// //repolint:allocfree marker on DistanceEval.Distance: once the per-group
+// scratch has grown to the instance's group sizes, evaluating Definition 3 —
+// over all devices or a member subset — allocates nothing.
+func TestDistanceEvalWarmAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := heterogeneousInstance(24, rng)
+	var p PreparedNE
+	if err := p.PrepareInto(in); err != nil {
+		t.Fatal(err)
+	}
+	e := p.NewEval()
+	gains := make([]float64, len(in.Devices))
+	for d := range gains {
+		gains[d] = rng.Float64() * 5
+	}
+	members := []int{0, 3, 5, 7, 11, 13}
+	e.Distance(gains, nil) // warm: scratch reaches full group sizes
+	avg := testing.AllocsPerRun(100, func() {
+		e.Distance(gains, nil)
+		e.Distance(gains, members)
+	})
+	if avg != 0 {
+		t.Fatalf("warm Distance allocates %.1f objects, want 0", avg)
+	}
+}
+
+// TestDistanceToNashGroupedIsOrderIndependent is the regression test for the
+// determinism waiver in DistanceToNashGrouped: the metric folds math.Max over
+// a map of availability groups, so its result must not depend on map
+// iteration order. Repeated calls hit different orders; all must agree, and
+// all must match the deterministic PreparedNE evaluation of the same
+// instance.
+func TestDistanceToNashGroupedIsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := heterogeneousInstance(24, rng)
+	gains := make([]float64, len(in.Devices))
+	for d := range gains {
+		gains[d] = rng.Float64() * 5
+	}
+	want := in.DistanceToNashGrouped(gains)
+	for i := 0; i < 50; i++ {
+		if got := in.DistanceToNashGrouped(gains); got != want {
+			t.Fatalf("call %d: distance %v, previous calls %v — map order leaked into the result", i, got, want)
+		}
+	}
+	var p PreparedNE
+	if err := p.PrepareInto(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Distance(gains, nil); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("prepared Distance %v, grouped %v", got, want)
 	}
 }

@@ -166,8 +166,8 @@ type Client struct {
 	fr        *cluster.FrameReader
 	algorithm string
 
-	batch []FeedbackItem     // buffered reports not yet written
-	sent  []FeedbackItem     // written but unconfirmed by a response barrier
+	batch []FeedbackItem // buffered reports not yet written
+	sent  []FeedbackItem // written but unconfirmed by a response barrier
 	slots map[uint64]selection
 
 	seq     uint64
@@ -361,6 +361,10 @@ func (c *Client) backoff(try int) {
 		d = max
 	}
 	if c.rng == nil {
+		// Backoff jitter is deliberately wall-clock-seeded: it must differ
+		// across client processes to de-synchronize reconnect storms, and it
+		// never reaches a decision, a seed, or a snapshot.
+		//repolint:ignore seedpurity intentional nondeterminism: jitter only spreads redial timing and never feeds decisions or state
 		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 	time.Sleep(d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1)))

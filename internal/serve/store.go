@@ -148,15 +148,11 @@ func (s *Store) shardIndex(deviceID uint64) uint64 { return mix64(deviceID) & s.
 // selection settles (Feedback applied, or abandoned by an arm-set change).
 // Feedback must quote it back, so a report duplicated across a reconnect
 // cannot credit a later selection that happens to pick the same arm.
+//
+//repolint:allocfree via TestStoreWarmSelectDoesNotAllocate
 func (s *Store) Select(deviceID uint64, arms []int) (int, uint64, error) {
-	if len(arms) == 0 {
-		return -1, 0, fmt.Errorf("serve: device %d: empty arm set", deviceID)
-	}
-	if len(arms) > s.cfg.MaxArms {
-		return -1, 0, fmt.Errorf("serve: device %d: %d arms exceeds the %d limit", deviceID, len(arms), s.cfg.MaxArms)
-	}
-	if !ascendingArms(arms) {
-		return -1, 0, fmt.Errorf("serve: device %d: arms must be strictly ascending", deviceID)
+	if err := s.validateArms(deviceID, arms); err != nil {
+		return -1, 0, err
 	}
 	sh := &s.shards[s.shardIndex(deviceID)]
 	sh.mu.Lock()
@@ -209,6 +205,22 @@ func (s *Store) Select(deviceID uint64, arms []int) (int, uint64, error) {
 	return arm, dev.slot, nil
 }
 
+// validateArms rejects malformed arm sets. It is Select's cold rejection
+// path, kept out of the allocfree-marked body because the formatted errors
+// allocate (by design: a rejected request is never the warm path).
+func (s *Store) validateArms(deviceID uint64, arms []int) error {
+	if len(arms) == 0 {
+		return fmt.Errorf("serve: device %d: empty arm set", deviceID)
+	}
+	if len(arms) > s.cfg.MaxArms {
+		return fmt.Errorf("serve: device %d: %d arms exceeds the %d limit", deviceID, len(arms), s.cfg.MaxArms)
+	}
+	if !ascendingArms(arms) {
+		return fmt.Errorf("serve: device %d: arms must be strictly ascending", deviceID)
+	}
+	return nil
+}
+
 // acquire produces a device session for deviceID, reusing a pooled one when
 // the shard has retirees. Caller holds sh.mu.
 func (s *Store) acquire(sh *shard, deviceID uint64, arms []int) (*device, error) {
@@ -243,6 +255,8 @@ func (s *Store) acquire(sh *shard, deviceID uint64, arms []int) (*device, error)
 // non-pending arm, or a settled slot is counted in Dropped and ignored —
 // so feedback duplicated, reordered, or replayed across a reconnect cannot
 // double-count a slot even when a later selection picks the same arm.
+//
+//repolint:allocfree via TestStoreChurnIsAllocationFreeWarm
 func (s *Store) Feedback(deviceID uint64, arm int, slot uint64, reward float64) bool {
 	sh := &s.shards[s.shardIndex(deviceID)]
 	sh.mu.Lock()
@@ -250,6 +264,7 @@ func (s *Store) Feedback(deviceID uint64, arm int, slot uint64, reward float64) 
 	return s.feedbackLocked(sh, deviceID, arm, slot, reward)
 }
 
+//repolint:allocfree via TestStoreChurnIsAllocationFreeWarm
 func (s *Store) feedbackLocked(sh *shard, deviceID uint64, arm int, slot uint64, reward float64) bool {
 	dev := sh.devices[deviceID]
 	if dev == nil || dev.pending != arm || dev.slot != slot {
@@ -280,6 +295,8 @@ type FeedbackItem struct {
 // regardless of how the batch interleaves devices; it returns how many
 // items were applied. This is the server's path for the client's buffered
 // fire-and-forget feedback frames.
+//
+//repolint:allocfree via TestApplyBatchWarmDoesNotAllocate
 func (s *Store) ApplyBatch(items []FeedbackItem) int {
 	applied, remaining := 0, len(items)
 	for si := range s.shards {

@@ -408,3 +408,31 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("zero Policy did not resolve to DefaultConfig")
 	}
 }
+
+// TestApplyBatchWarmDoesNotAllocate is the AllocsPerRun gate behind the
+// //repolint:allocfree marker on ApplyBatch: settling buffered feedback for
+// warm devices must not allocate, however the batch interleaves shards.
+func TestApplyBatchWarmDoesNotAllocate(t *testing.T) {
+	s := newTestStore(t, Config{Shards: 4})
+	arms := []int{1, 2, 3, 4}
+	devices := []uint64{3, 11, 42}
+	drive(t, s, devices, arms, 300)
+	items := make([]FeedbackItem, len(devices))
+	slot := 1000
+	allocs := testing.AllocsPerRun(200, func() {
+		for i, id := range devices {
+			arm, sl, err := s.Select(id, arms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			items[i] = FeedbackItem{Device: id, Arm: arm, Slot: sl, Reward: reward(id, arm, slot)}
+		}
+		slot++
+		if n := s.ApplyBatch(items); n != len(items) {
+			t.Fatalf("ApplyBatch applied %d of %d items", n, len(items))
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm ApplyBatch allocates %.2f objects per batch, want 0", allocs)
+	}
+}

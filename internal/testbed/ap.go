@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"smartexp3/internal/rngutil"
 )
 
 // tokenBucket is a shared rate limiter: the access point's scheduler draws
@@ -124,7 +126,7 @@ func startAccessPoint(name string, rate, noise float64, rng *rand.Rand) (*access
 		bucket:   newTokenBucket(rate),
 		noise:    noise,
 		rng:      rng,
-		driftRng: rand.New(rand.NewSource(rng.Int63())),
+		driftRng: rngutil.New(rng.Int63()),
 		stop:     make(chan struct{}),
 	}
 	ap.wg.Add(2)

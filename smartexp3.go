@@ -10,6 +10,7 @@ import (
 	"smartexp3/internal/game"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/report"
+	"smartexp3/internal/rngutil"
 	"smartexp3/internal/sim"
 	"smartexp3/internal/testbed"
 	"smartexp3/internal/trace"
@@ -49,6 +50,19 @@ func Algorithms() []Algorithm { return core.Algorithms() }
 // DefaultPolicyConfig returns the parameter values of Section V
 // (β=0.1, γ(b)=b^{-1/3}, reset thresholds 0.75/40, drop rule 15%/4 slots).
 func DefaultPolicyConfig() PolicyConfig { return core.DefaultConfig() }
+
+// NewRNG returns a deterministic generator for the given seed, the
+// sanctioned way to build the *rand.Rand a policy consumes. It is backed
+// by the repo's stream-identical rand.Source replica, so every stream is
+// a pure function of its seed — the determinism contract repolint's
+// seedpurity check enforces across the tree.
+func NewRNG(seed int64) *rand.Rand { return rngutil.New(seed) }
+
+// ChildSeed deterministically derives an independent seed for the
+// sub-stream identified by ids (for example run index, then device
+// index). Deriving per-device seeds this way keeps streams independent:
+// adding a device never perturbs the draws of the existing ones.
+func ChildSeed(seed int64, ids ...int64) int64 { return rngutil.ChildSeed(seed, ids...) }
 
 // NewPolicy constructs the given algorithm's policy over the available
 // network ids with default parameters. Gains passed to Observe must be bit
