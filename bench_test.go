@@ -21,6 +21,7 @@ import (
 	"smartexp3/internal/cluster"
 	"smartexp3/internal/core"
 	"smartexp3/internal/experiment"
+	"smartexp3/internal/fleet"
 	"smartexp3/internal/netmodel"
 	"smartexp3/internal/obsv"
 	"smartexp3/internal/runner"
@@ -358,6 +359,52 @@ func BenchmarkServeSelectInstrumented(b *testing.B) {
 		b.Fatal(err)
 	}
 	store.Instrument(obsv.NewRegistry())
+	arms := []int{0, 1, 2, 3}
+	gains := []float64{0.2, 0.4, 0.9, 0.5}
+	for i := 0; i < 300; i++ { // warm: past explore-first and pool growth
+		arm, slot, err := store.Select(7, arms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.Feedback(7, arm, slot, gains[arm])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arm, slot, err := store.Select(7, arms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.Feedback(7, arm, slot, gains[arm])
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "decisions/s")
+	}
+}
+
+// BenchmarkFleetSelect is BenchmarkServeSelect with a fleet peer wrapped
+// around the store: the partition-table ownership check (one atomic view
+// load plus a rendezvous-free stripe index per request) now guards every
+// Select and Feedback. This is the owning-peer steady state of a sharded
+// fleet, and the BENCH_runner.json gate holds it to 0 allocs/op — joining
+// a fleet must not cost the daemon its allocation-free hot path.
+func BenchmarkFleetSelect(b *testing.B) {
+	store, err := serve.NewStore(serve.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	peer, err := fleet.NewPeer(store, fleet.PeerOptions{ID: "a"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := fleet.NewTable(fleet.DefaultStripeBits, []fleet.PeerInfo{{ID: "a", Addr: "a:1", Control: "a:2"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := peer.InstallTable(tab); err != nil {
+		b.Fatal(err)
+	}
 	arms := []int{0, 1, 2, 3}
 	gains := []float64{0.2, 0.4, 0.9, 0.5}
 	for i := 0; i < 300; i++ { // warm: past explore-first and pool growth

@@ -1,0 +1,352 @@
+// Command fleetd is one peer of a sharded decision-service fleet: a
+// served-style daemon (internal/serve) that owns a slice of the device-id
+// space under a versioned partition table (internal/fleet), answers
+// Select / Feedback for its slice, and redirects everything else to the
+// owning peer. A second listener (-control) speaks the fleet control
+// protocol: table fetch for joining peers and clients, snapshot-handoff
+// migration driven by a coordinator, and remote checkpoint.
+//
+// A fleet boots in two steps. Every founding peer starts with -bootstrap
+// and the same -peers roster: fleet.NewTable is deterministic over the
+// roster, so each founder compiles the identical epoch-1 table with no
+// rendezvous beyond the shared flag line. A later peer starts with -join
+// instead and fetches the current table from the first reachable roster
+// control address — it owns nothing until a rebalance admits it.
+//
+// Rebalancing is explicit, never automatic. `fleetd -rebalance-once
+// -peers ...` runs one coordinator pass and exits: it probes the roster,
+// computes the next table over the live peers, drains each moving stripe
+// on its old owner (traffic redirects mid-handoff; no decision is lost or
+// doubled), ships the cut over the framed wire, and commits the bumped
+// epoch fleet-wide. -rebalance-every runs the same pass on a timer inside
+// a serving peer, for fleets that prefer a resident coordinator.
+//
+// State, snapshots, eviction-free determinism, -debug-addr and
+// -metrics-log-every all behave exactly as in served; /metrics
+// additionally carries the fleet_* counter set (redirects, table epoch,
+// migration volume). With -snapshot set the peer also honours the
+// control protocol's checkpoint request, which is how a coordinator
+// flushes a peer before taking it down: kill a checkpointed peer with
+// SIGKILL and restart it with -join -snapshot and the fleet's merged
+// state is bit-identical to an uninterrupted run.
+//
+// Usage:
+//
+//	fleetd -id a -listen :9700 -control :9701 -bootstrap \
+//	       -peers "a=host1:9700@host1:9701,b=host2:9700@host2:9701"
+//	fleetd -id c -listen :9700 -control :9701 -join \
+//	       -peers "a=host1:9700@host1:9701"          # fetch table, own nothing yet
+//	fleetd -rebalance-once -peers "a=...@...,b=...@...,c=...@..."
+//	fleetd -id a ... -snapshot /var/lib/fleetd-a.snap -debug-addr 127.0.0.1:9633
+//
+// Like served and shardd, both protocols are unauthenticated and
+// unencrypted: run fleetd only on networks where every peer is trusted.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smartexp3/internal/core"
+	"smartexp3/internal/fleet"
+	"smartexp3/internal/obsv"
+	"smartexp3/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+// algorithmsByName mirrors served's flag vocabulary: the EXP3 family
+// whose policy state the serve layer can snapshot — a fleet migrates by
+// snapshot, so only snapshot-capable policies can be fleet members.
+var algorithmsByName = map[string]core.Algorithm{
+	"exp3":    core.AlgEXP3,
+	"block":   core.AlgBlockEXP3,
+	"hybrid":  core.AlgHybridBlockEXP3,
+	"smartnr": core.AlgSmartEXP3NoReset,
+	"smart":   core.AlgSmartEXP3,
+}
+
+// parsePeers decodes the -peers roster: comma-separated
+// "id=dataAddr@controlAddr" entries, order-insensitive (the table builder
+// sorts by id).
+func parsePeers(s string) ([]fleet.PeerInfo, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	var roster []fleet.PeerInfo
+	seen := make(map[string]bool)
+	for _, ent := range strings.Split(s, ",") {
+		ent = strings.TrimSpace(ent)
+		id, addrs, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer entry %q: want id=dataAddr@controlAddr", ent)
+		}
+		data, ctrl, ok := strings.Cut(addrs, "@")
+		if !ok {
+			return nil, fmt.Errorf("peer entry %q: want id=dataAddr@controlAddr", ent)
+		}
+		if id == "" || data == "" || ctrl == "" {
+			return nil, fmt.Errorf("peer entry %q: empty id or address", ent)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("peer id %q listed twice", id)
+		}
+		seen[id] = true
+		roster = append(roster, fleet.PeerInfo{ID: id, Addr: data, Control: ctrl})
+	}
+	return roster, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fleetd", flag.ContinueOnError)
+	var (
+		id        = fs.String("id", "", "this peer's id in the -peers roster")
+		listen    = fs.String("listen", "127.0.0.1:9700", "address to serve Select/Feedback on")
+		control   = fs.String("control", "127.0.0.1:9701", "address to serve the fleet control protocol on")
+		peersFlag = fs.String("peers", "", `fleet roster: comma-separated "id=dataAddr@controlAddr"`)
+		bootstrap = fs.Bool("bootstrap", false, "install the deterministic epoch-1 table over -peers at boot")
+		join      = fs.Bool("join", false, "fetch the current table from a -peers control address at boot")
+		stripes   = fs.Int("stripes", fleet.DefaultStripeBits, "partition-table stripe bits (2^bits stripes; -bootstrap only)")
+		rebOnce   = fs.Bool("rebalance-once", false, "run one coordinator rebalance over -peers and exit (no listeners)")
+		rebEvery  = fs.Duration("rebalance-every", 0, "also run a coordinator rebalance over -peers at this interval (0 disables)")
+		algName   = fs.String("alg", "smart", "policy to serve: exp3|block|hybrid|smartnr|smart")
+		seed      = fs.Int64("seed", 1, "root seed; device d draws from ChildSeed(seed, d) — must match fleet-wide")
+		shards    = fs.Int("state-shards", 0, "device-map shard count (default: 4×GOMAXPROCS, rounded to a power of two)")
+		maxArms   = fs.Int("max-arms", 0, "per-request arm-set bound (default 1024)")
+		snapshot  = fs.String("snapshot", "", "state file: restored at boot if present, written on SIGTERM/SIGINT and control-protocol checkpoint")
+		every     = fs.Duration("snapshot-every", 0, "also checkpoint the state file at this interval (requires -snapshot)")
+		debug     = fs.String("debug-addr", "", "serve /metrics, /varz and /debug/pprof/ on this address (empty disables)")
+		logEvery  = fs.Duration("metrics-log-every", 0, "emit a structured metrics-delta log line at this interval (0 disables)")
+		quiet     = fs.Bool("quiet", false, "suppress log lines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "fleetd: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	if *rebOnce {
+		roster, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		self := *id
+		if self == "" {
+			self = "coordinator"
+		}
+		coord := &fleet.Coordinator{Self: self}
+		tab, err := coord.Rebalance(roster)
+		if err != nil {
+			return err
+		}
+		logf("rebalanced to epoch %d over %d peers", tab.Epoch, len(tab.Peers))
+		return nil
+	}
+
+	alg, ok := algorithmsByName[*algName]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (want exp3|block|hybrid|smartnr|smart)", *algName)
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	if *bootstrap == *join {
+		return fmt.Errorf("exactly one of -bootstrap or -join is required")
+	}
+	if *every > 0 && *snapshot == "" {
+		return fmt.Errorf("-snapshot-every requires -snapshot")
+	}
+	roster, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if *bootstrap {
+		found := false
+		for _, p := range roster {
+			found = found || p.ID == *id
+		}
+		if !found {
+			return fmt.Errorf("-bootstrap requires -id %q to appear in -peers", *id)
+		}
+	}
+
+	store, err := serve.NewStore(serve.Config{
+		Algorithm: alg,
+		Seed:      *seed,
+		Shards:    *shards,
+		MaxArms:   *maxArms,
+	})
+	if err != nil {
+		return err
+	}
+	if *snapshot != "" {
+		switch err := store.LoadFile(*snapshot); {
+		case err == nil:
+			logf("restored %d device sessions from %s", store.Devices(), *snapshot)
+		case errors.Is(err, os.ErrNotExist):
+			logf("no snapshot at %s, starting fresh", *snapshot)
+		default:
+			return err
+		}
+	}
+
+	// Instrumentation is built only when something will consume it; the
+	// fleet counter set rides the same registry as the serve metrics.
+	var reg *obsv.Registry
+	var fm *fleet.Metrics
+	srvOpts := serve.ServerOptions{}
+	if *debug != "" || *logEvery > 0 {
+		reg = obsv.NewRegistry()
+		store.Instrument(reg)
+		srvOpts.Metrics = serve.NewServerMetrics(reg)
+		fm = fleet.NewMetrics(reg)
+	}
+	peer, err := fleet.NewPeer(store, fleet.PeerOptions{
+		ID:           *id,
+		SnapshotPath: *snapshot,
+		Metrics:      fm,
+	})
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *bootstrap:
+		if *stripes < 1 || *stripes > 16 {
+			return fmt.Errorf("-stripes %d out of range [1,16]", *stripes)
+		}
+		tab, err := fleet.NewTable(uint8(*stripes), roster)
+		if err != nil {
+			return err
+		}
+		if err := peer.InstallTable(tab); err != nil {
+			return err
+		}
+		logf("bootstrapped epoch %d over %d peers, %d stripes", tab.Epoch, len(tab.Peers), tab.Stripes())
+	case *join:
+		var tab *fleet.Table
+		var lastErr error
+		for _, p := range roster {
+			if p.ID == *id {
+				continue
+			}
+			if tab, lastErr = fleet.FetchTable(p.Control, *id, 5*time.Second); lastErr == nil {
+				break
+			}
+		}
+		if tab == nil {
+			return fmt.Errorf("-join could not fetch a table from any roster peer: %w", lastErr)
+		}
+		if err := peer.InstallTable(tab); err != nil {
+			return err
+		}
+		logf("joined at epoch %d (%d peers); this peer owns nothing until a rebalance admits it", tab.Epoch, len(tab.Peers))
+	}
+
+	if *debug != "" {
+		ds, err := obsv.ListenAndServe(*debug, reg)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		logf("debug endpoints on http://%s/ (/metrics, /varz, /debug/pprof/)", ds.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	ctrlLn, err := net.Listen("tcp", *control)
+	if err != nil {
+		return err
+	}
+	defer ctrlLn.Close()
+	srv := serve.NewServer(store, srvOpts)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigCh)
+	// shutdown is closed before the listeners, so the Serve error path
+	// below can tell an orderly signal exit from a transport failure
+	// without a race.
+	shutdown := make(chan struct{})
+	if *logEvery > 0 {
+		dl := obsv.NewDeltaLogger(reg, slog.New(slog.NewTextHandler(os.Stderr, nil)))
+		go dl.Run(*logEvery, shutdown)
+	}
+	go func() {
+		var tick <-chan time.Time
+		if *every > 0 {
+			t := time.NewTicker(*every)
+			defer t.Stop()
+			tick = t.C
+		}
+		var reb <-chan time.Time
+		if *rebEvery > 0 {
+			t := time.NewTicker(*rebEvery)
+			defer t.Stop()
+			reb = t.C
+		}
+		for {
+			select {
+			case sig := <-sigCh:
+				logf("caught %v, flushing state", sig)
+				close(shutdown)
+				ln.Close()     // stop accepting data connections; Serve returns
+				srv.Close()    // tear down live data connections
+				ctrlLn.Close() // stop the control accept loop
+				peer.Close()   // tear down live control connections
+				return
+			case <-tick:
+				if err := store.SaveFile(*snapshot); err != nil {
+					logf("checkpoint failed: %v", err)
+				} else {
+					logf("checkpointed %d device sessions to %s", store.Devices(), *snapshot)
+				}
+			case <-reb:
+				coord := &fleet.Coordinator{Self: *id, Metrics: fm}
+				if tab, err := coord.Rebalance(roster); err != nil {
+					logf("rebalance failed: %v", err)
+				} else {
+					logf("rebalanced to epoch %d over %d peers", tab.Epoch, len(tab.Peers))
+				}
+			}
+		}
+	}()
+	ctrlErr := make(chan error, 1)
+	go func() { ctrlErr <- peer.ServeControl(ctrlLn) }()
+
+	logf("peer %s serving %v on %s, control on %s", *id, alg, ln.Addr(), ctrlLn.Addr())
+	serveErr := srv.Serve(ln)
+	select {
+	case <-shutdown: // orderly exit: the listener close is ours, flush state
+		<-ctrlErr // the control loop exits on its closed listener too
+		if *snapshot != "" {
+			if err := store.SaveFile(*snapshot); err != nil {
+				return err
+			}
+			logf("flushed %d device sessions to %s", store.Devices(), *snapshot)
+		}
+		return nil
+	default:
+		return serveErr
+	}
+}

@@ -8,6 +8,7 @@
 //	simulate -topology foodcourt -algorithm exp3 -seed 7
 //	simulate -runs 32 -workers 8              # parallel Monte Carlo replication
 //	simulate -runs 96 -shards h1:9631,h2:9631 # shard the batch across workers
+//	simulate -runs 24 -seeds 7,8,9            # one aggregate block per seed
 //	simulate -config scenario.json            # declarative JSON scenario
 //	simulate -writeconfig scenario.json ...   # save the flags as a scenario
 //	simulate -runs 96 -debug-addr :9634       # watch /metrics + pprof live
@@ -23,6 +24,12 @@
 // merge in the same global run order — the aggregate lines are
 // byte-identical to an in-process run of the same seed, for any shard
 // count, even when workers die mid-batch.
+//
+// With -seeds the whole -runs batch is swept once per listed seed. A
+// sharded sweep holds ONE persistent cluster session for all of it: each
+// shardd daemon sees exactly one connection carrying every batch, not a
+// redial per seed — CI's cluster smoke job asserts that shape from the
+// daemon logs.
 package main
 
 import (
@@ -67,6 +74,7 @@ func run(args []string) error {
 		devices   = fs.Int("devices", 20, "number of devices")
 		slots     = fs.Int("slots", 1200, "number of 15 s time slots")
 		seed      = fs.Int64("seed", 1, "random seed")
+		seedsList = fs.String("seeds", "", "comma-separated seed sweep: run the -runs batch once per seed (overrides -seed)")
 		runs      = fs.Int("runs", 1, "Monte Carlo replications of the scenario")
 		workers   = fs.Int("workers", 0, "replication worker count (default: GOMAXPROCS)")
 		shards    = fs.String("shards", "", "comma-separated shardd addresses to shard replications across")
@@ -156,6 +164,13 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "simulate: debug endpoints on http://%s/\n", ds.Addr())
 	}
 
+	if *seedsList != "" {
+		seeds, err := parseSeeds(*seedsList)
+		if err != nil {
+			return err
+		}
+		return runSweep(cfg, seeds, *runs, *workers, shardAddrs, reg)
+	}
 	if *runs > 1 || len(shardAddrs) > 0 {
 		return runReplicated(cfg, *runs, *workers, shardAddrs, reg)
 	}
@@ -212,29 +227,8 @@ func run(args []string) error {
 // every aggregate line below it is byte-identical across worker and shard
 // counts.
 func runReplicated(cfg smartexp3.SimConfig, runs, workers int, shards []string, reg *obsv.Registry) error {
-	var (
-		switches  []float64 // per device, pooled over runs
-		downloads []float64 // per run: median over devices (GB)
-		fairness  []float64 // per run: stddev over devices (MB)
-		atNE      []float64
-		atEps     []float64
-		stable    int
-	)
-	merge := func(_ int, res *smartexp3.SimResult) error {
-		var dls []float64
-		for d := range res.Devices {
-			switches = append(switches, float64(res.Devices[d].Switches))
-			dls = append(dls, res.Devices[d].DownloadMb)
-		}
-		downloads = append(downloads, smartexp3.MbToGB(stats.Median(dls)))
-		fairness = append(fairness, smartexp3.MbToMB(stats.StdDev(dls)))
-		atNE = append(atNE, res.FracAtNE)
-		atEps = append(atEps, res.FracAtEps)
-		if res.StabilityValid && res.Stability.Stable {
-			stable++
-		}
-		return nil
-	}
+	agg := &replicateStats{}
+	merge := agg.merge
 	batch := runner.Replications{Runs: runs, Workers: workers, Seed: cfg.Seed}
 	if len(shards) > 0 {
 		job, err := cluster.NewJob(batch, cfg)
@@ -254,7 +248,7 @@ func runReplicated(cfg smartexp3.SimConfig, runs, workers int, shards []string, 
 			return err
 		}
 		fmt.Printf("replications         %d (shards %d)\n", runs, len(shards))
-		return printReplicated(cfg, runs, switches, downloads, fairness, atNE, atEps, stable)
+		return agg.print(cfg, runs)
 	}
 	eng, err := smartexp3.NewSimEngine(cfg)
 	if err != nil {
@@ -270,20 +264,120 @@ func runReplicated(cfg smartexp3.SimConfig, runs, workers int, shards []string, 
 		return err
 	}
 	fmt.Printf("replications         %d (workers %d)\n", runs, runner.Workers(workers))
-	return printReplicated(cfg, runs, switches, downloads, fairness, atNE, atEps, stable)
+	return agg.print(cfg, runs)
 }
 
-// printReplicated emits the aggregate lines shared by the in-process and
-// sharded paths; CI's cluster smoke job diffs exactly these lines between a
+// replicateStats accumulates one replication batch's aggregates; merge is
+// called in global run order, so the printed lines are a pure function of
+// the seed regardless of execution shape.
+type replicateStats struct {
+	switches  []float64 // per device, pooled over runs
+	downloads []float64 // per run: median over devices (GB)
+	fairness  []float64 // per run: stddev over devices (MB)
+	atNE      []float64
+	atEps     []float64
+	stable    int
+}
+
+func (a *replicateStats) merge(_ int, res *smartexp3.SimResult) error {
+	var dls []float64
+	for d := range res.Devices {
+		a.switches = append(a.switches, float64(res.Devices[d].Switches))
+		dls = append(dls, res.Devices[d].DownloadMb)
+	}
+	a.downloads = append(a.downloads, smartexp3.MbToGB(stats.Median(dls)))
+	a.fairness = append(a.fairness, smartexp3.MbToMB(stats.StdDev(dls)))
+	a.atNE = append(a.atNE, res.FracAtNE)
+	a.atEps = append(a.atEps, res.FracAtEps)
+	if res.StabilityValid && res.Stability.Stable {
+		a.stable++
+	}
+	return nil
+}
+
+// print emits the aggregate lines shared by the in-process and sharded
+// paths; CI's cluster smoke job diffs exactly these lines between a
 // sharded and a single-process run.
-func printReplicated(cfg smartexp3.SimConfig, runs int, switches, downloads, fairness, atNE, atEps []float64, stable int) error {
+func (a *replicateStats) print(cfg smartexp3.SimConfig, runs int) error {
 	fmt.Printf("devices x slots      %d x %d\n", len(cfg.Devices), cfg.Slots)
-	fmt.Printf("switches/device      mean %.1f  sd %.1f\n", stats.Mean(switches), stats.StdDev(switches))
-	fmt.Printf("median download      mean %.2f GB  sd %.2f GB\n", stats.Mean(downloads), stats.StdDev(downloads))
-	fmt.Printf("fairness sd          mean %.0f MB\n", stats.Mean(fairness))
+	fmt.Printf("switches/device      mean %.1f  sd %.1f\n", stats.Mean(a.switches), stats.StdDev(a.switches))
+	fmt.Printf("median download      mean %.2f GB  sd %.2f GB\n", stats.Mean(a.downloads), stats.StdDev(a.downloads))
+	fmt.Printf("fairness sd          mean %.0f MB\n", stats.Mean(a.fairness))
 	fmt.Printf("time at NE           %.1f%%  (within eps=7.5: %.1f%%)\n",
-		100*stats.Mean(atNE), 100*stats.Mean(atEps))
-	fmt.Printf("stable runs          %d/%d\n", stable, runs)
+		100*stats.Mean(a.atNE), 100*stats.Mean(a.atEps))
+	fmt.Printf("stable runs          %d/%d\n", a.stable, runs)
+	return nil
+}
+
+// parseSeeds decodes the -seeds sweep list.
+func parseSeeds(s string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds entry %q: %w", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
+// runSweep replicates the scenario -runs times per seed, one aggregate
+// block per seed. The sharded path is the reason this exists as its own
+// loop rather than repeated runReplicated calls: every batch in the sweep
+// rides ONE persistent cluster session, so each shardd daemon sees exactly
+// one connection for the whole sweep — no per-seed redial, and a worker
+// lost mid-sweep is redialed by the session, not abandoned between
+// batches. Each seed's block is byte-identical to runReplicated of that
+// seed below the header line.
+func runSweep(cfg smartexp3.SimConfig, seeds []int64, runs, workers int, shards []string, reg *obsv.Registry) error {
+	var sess *cluster.Session
+	if len(shards) > 0 {
+		opts := cluster.Options{
+			LocalWorkers: workers,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
+			},
+		}
+		if reg != nil {
+			opts.Metrics = cluster.NewSessionMetrics(reg)
+		}
+		sess = cluster.NewSession(shards, opts)
+		defer sess.Close()
+	}
+	for _, seed := range seeds {
+		cfg.Seed = seed
+		agg := &replicateStats{}
+		batch := runner.Replications{Runs: runs, Workers: workers, Seed: seed}
+		if sess != nil {
+			job, err := cluster.NewJob(batch, cfg)
+			if err != nil {
+				return err
+			}
+			if err := sess.Run(job, agg.merge); err != nil {
+				return err
+			}
+			fmt.Printf("seed %d: replications %d (shards %d)\n", seed, runs, len(shards))
+		} else {
+			eng, err := smartexp3.NewSimEngine(cfg)
+			if err != nil {
+				return err
+			}
+			err = runner.MergePooled(batch,
+				eng.NewWorkspace,
+				func(ws *smartexp3.SimWorkspace, run int, seed int64) (*smartexp3.SimResult, error) {
+					return eng.Run(ws, seed)
+				},
+				agg.merge)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("seed %d: replications %d (workers %d)\n", seed, runs, runner.Workers(workers))
+		}
+		if err := agg.print(cfg, runs); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

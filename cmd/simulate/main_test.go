@@ -199,6 +199,96 @@ func TestShardedAggregatesMatchInProcess(t *testing.T) {
 	}
 }
 
+// sweepBlocks splits a -seeds sweep's output into per-seed aggregate
+// blocks, dropping the "seed N: replications ..." header of each.
+func sweepBlocks(t *testing.T, out string) []string {
+	t.Helper()
+	var blocks []string
+	cur := -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "seed ") {
+			blocks = append(blocks, "")
+			cur++
+			continue
+		}
+		if cur >= 0 && line != "" {
+			blocks[cur] += line + "\n"
+		}
+	}
+	return blocks
+}
+
+// countingListener counts accepted connections, so the sweep test can
+// assert the session shape, not just the results.
+type countingListener struct {
+	net.Listener
+	accepted int
+}
+
+func (cl *countingListener) Accept() (net.Conn, error) {
+	c, err := cl.Listener.Accept()
+	if err == nil {
+		cl.accepted++
+	}
+	return c, err
+}
+
+// TestSeedSweepMatchesPerSeedRunsOverOneSession is the -seeds acceptance
+// check: each seed's aggregate block is byte-identical to a standalone
+// -seed run of the same batch, in-process and sharded — and the sharded
+// sweep holds ONE session, so each worker accepts exactly one connection
+// for the whole multi-seed sweep.
+func TestSeedSweepMatchesPerSeedRunsOverOneSession(t *testing.T) {
+	base := []string{"-topology", "setting1", "-devices", "5", "-slots", "50", "-runs", "8"}
+	seeds := []string{"7", "11"}
+	var want []string
+	for _, s := range seeds {
+		out := captureStdout(t, func() error { return run(append(base, "-seed", s)) })
+		want = append(want, aggregateLines(t, out))
+	}
+
+	local := captureStdout(t, func() error {
+		return run(append(base, "-seeds", strings.Join(seeds, ",")))
+	})
+	for i, got := range sweepBlocks(t, local) {
+		if got != want[i] {
+			t.Fatalf("in-process sweep block for seed %s differs:\n%s\nwant:\n%s", seeds[i], got, want[i])
+		}
+	}
+
+	var addrs []string
+	var listeners []*countingListener
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		cl := &countingListener{Listener: ln}
+		go cluster.Serve(cl, cluster.WorkerOptions{})
+		listeners = append(listeners, cl)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	sharded := captureStdout(t, func() error {
+		return run(append(base, "-seeds", strings.Join(seeds, ","), "-shards", strings.Join(addrs, ",")))
+	})
+	for i, got := range sweepBlocks(t, sharded) {
+		if got != want[i] {
+			t.Fatalf("sharded sweep block for seed %s differs:\n%s\nwant:\n%s", seeds[i], got, want[i])
+		}
+	}
+	for i, cl := range listeners {
+		if cl.accepted != 1 {
+			t.Fatalf("worker %d accepted %d connections over the sweep, want exactly 1", i, cl.accepted)
+		}
+	}
+
+	if err := run(append(base, "-seeds", "7,x")); err == nil ||
+		!strings.Contains(err.Error(), "-seeds entry") {
+		t.Fatalf("malformed -seeds must be rejected, got %v", err)
+	}
+}
+
 // TestRunWithDebugAddr smokes the -debug-addr flag: the run must bring the
 // debug listener up, complete normally, and reject an unbindable address.
 func TestRunWithDebugAddr(t *testing.T) {

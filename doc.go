@@ -62,7 +62,7 @@
 //
 // # Architecture
 //
-// The execution stack is five layers, each adding one scaling axis on top
+// The execution stack is six layers, each adding one scaling axis on top
 // of the one below while preserving a single determinism contract:
 //
 //   - Engine (internal/sim): the compiled, immutable form of a simulation
@@ -117,6 +117,29 @@
 //     bit flips, mid-frame cuts, stalls at replayable byte offsets) under
 //     which a serve session must be decision- and state-identical to a
 //     clean one.
+//   - Fleet (internal/fleet, cmd/fleetd): scales the decision service past
+//     one process by partitioning the device-id space across served-style
+//     peers under a versioned partition table — rendezvous hashing assigns
+//     each of 2^k key-space stripes to a peer, and every change is a new
+//     epoch. Peers enforce ownership on the hot path (one atomic view load
+//     per request; 0 allocs/op, same CI gate) and answer for foreign
+//     devices with a NotOwner redirect carrying the epoch and owner, so
+//     stale clients heal themselves: the fleet client routes locally,
+//     follows redirects, re-fetches the table, and replays bounced
+//     feedback to the new owner, where slot-id dedup makes the replay
+//     exactly-once. Rebalancing is a live snapshot handoff driven by a
+//     coordinator over a second control listener: quiesce a stripe on the
+//     old owner (an ownership flip under the shard locks makes the cut an
+//     exact write barrier), ship the per-range snapshot over the framed
+//     wire, stage it on the gaining peer, and commit the bumped epoch
+//     fleet-wide — in-flight traffic redirects mid-handoff and no decision
+//     is lost or doubled. A coordinator that dies mid-handoff leaves
+//     nothing stranded: staged state dies with its connection, and an
+//     orphaned drain resolves by asking the gaining peer whether the
+//     epoch committed. The acceptance property mirrors serve's: a
+//     three-peer fleet through a mid-run rebalance and a chaos-killed
+//     peer is decision- and merged-snapshot-identical to one
+//     uninterrupted store.
 //
 // Every layer is observable through internal/obsv, a stdlib-only metrics
 // layer built for the hot paths above: atomic counters and gauges, fixed

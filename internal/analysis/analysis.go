@@ -56,7 +56,7 @@ func DefaultConfig(module string) Config {
 	pure := []string{"core", "sim", "game", "dist", "stats", "rngutil", "netmodel"}
 	cfg := Config{
 		RNGPackage:   module + "/internal/rngutil",
-		WirePackages: []string{module + "/internal/cluster", module + "/internal/serve"},
+		WirePackages: []string{module + "/internal/cluster", module + "/internal/serve", module + "/internal/fleet"},
 		FrameWriters: []string{module + "/internal/cluster.FrameWriter"},
 	}
 	for _, p := range pure {

@@ -43,7 +43,7 @@
 // function declarations; an orphaned marker is itself a diagnostic.
 //
 // wiredeadline — in the wire packages (Config.WirePackages; by default
-// cluster and serve) flags any connection or frame write occurring in a
+// cluster, serve and fleet) flags any connection or frame write occurring in a
 // function that never arms a write deadline. A "connection write" is a
 // Write call on a value whose type also has SetWriteDeadline (net.Conn
 // and friends); a "frame write" is a call to a FrameWriter write method

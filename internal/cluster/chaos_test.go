@@ -61,11 +61,23 @@ func chaosFrameStream(tb testing.TB) (stream []byte, frameEnds []int) {
 		Slots:    4,
 		Distance: []float64{0.5, 0.25, 0.125, 0},
 	}}}
+	// bulk stands in for the fleet migration stream: its snapshot frames
+	// ride this same codec at kilobyte scale, so the firewall must hold
+	// when a fault lands deep inside one large frame, not just between
+	// the small chatty ones.
+	bulkDistance := make([]float64, 2048)
+	for i := range bulkDistance {
+		bulkDistance[i] = 1 / float64(i+1)
+	}
+	bulk := &envelope{RunResult: &runResultMsg{Job: 2, Run: 1, Res: &sim.Result{
+		Slots:    len(bulkDistance),
+		Distance: bulkDistance,
+	}}}
 	frames := []*envelope{
 		{Hello: &helloMsg{Version: protocolVersion}},
 		{HelloAck: &helloAckMsg{Version: protocolVersion}},
 		{Range: &rangeMsg{Job: 1, First: 0, Count: 8}},
-		res, res, res,
+		res, res, bulk, res,
 		{RangeDone: &rangeDoneMsg{Job: 1, First: 0}},
 		{Ping: &pingMsg{Seq: 7}},
 		{Pong: &pongMsg{Seq: 7}},

@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"smartexp3/internal/cluster"
+	"smartexp3/internal/serve"
+)
+
+// fuzzConn replays a fixed byte stream as a net.Conn: reads come from
+// the fuzz input, writes vanish, deadlines are accepted and ignored —
+// the same trick the serve layer's fuzz target uses to drive a full
+// connection loop without sockets.
+type fuzzConn struct {
+	r io.Reader
+}
+
+func (c *fuzzConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *fuzzConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *fuzzConn) Close() error                     { return nil }
+func (c *fuzzConn) LocalAddr() net.Addr              { return fuzzAddr{} }
+func (c *fuzzConn) RemoteAddr() net.Addr             { return fuzzAddr{} }
+func (c *fuzzConn) SetDeadline(time.Time) error      { return nil }
+func (c *fuzzConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *fuzzConn) SetWriteDeadline(time.Time) error { return nil }
+
+type fuzzAddr struct{}
+
+func (fuzzAddr) Network() string { return "fuzz" }
+func (fuzzAddr) String() string  { return "fuzz" }
+
+// encodeFleetFrames renders a control request sequence exactly as a real
+// coordinator would: one persistent encoder per connection.
+func encodeFleetFrames(tb testing.TB, envs ...*fleetEnvelope) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	fw := cluster.NewFrameWriter(&buf)
+	for _, env := range envs {
+		if err := fw.Encode(env); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// fuzzFleetSeeds is the checked-in seed corpus for FuzzFleetWire: a full
+// well-formed migration session, each frame class alone, refusals the
+// handlers must answer rather than die on, and framing corruption.
+func fuzzFleetSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	hello := &fleetEnvelope{Hello: &fleetHelloMsg{Version: fleetProtocolVersion, From: "fuzz"}}
+	tab, err := NewTable(2, []PeerInfo{
+		{ID: "fz", Addr: "fz:1", Control: "fz:2"},
+		{ID: "other", Addr: "other:1", Control: "other:2"},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tab2 := tab.Clone()
+	tab2.Epoch = 2
+	// A stripe the fuzz peer owns, so the cut is accepted and the
+	// session walks the full drain path.
+	ownStripe := -1
+	for s := 0; s < tab.Stripes(); s++ {
+		if tab.Peers[tab.OwnerOf(s)].ID == "fz" {
+			ownStripe = s
+			break
+		}
+	}
+	lo, hi := tab.StripeRange(ownStripe)
+	// An empty range cut of a real store stamps version/algorithm/seed
+	// the way a genuine migration payload would.
+	seedStore, err := serve.NewStore(serve.Config{Seed: 42})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	snap := seedStore.SnapshotRange(1, 0)
+	// The drain's resolver target must refuse connections instantly, not
+	// hang a fuzz iteration in name resolution.
+	cut := &fleetEnvelope{Cut: &cutMsg{Stripe: ownStripe, Lo: lo, Hi: hi, To: "127.0.0.1:1", ToControl: "127.0.0.1:1", NewEpoch: 2}}
+	seeds := [][]byte{
+		encodeFleetFrames(tb, hello),
+		encodeFleetFrames(tb, hello, &fleetEnvelope{TableGet: &tableGetMsg{}}),
+		// The full migration session: cut an owned stripe, stage a
+		// stripe, commit the bumped table, checkpoint, ping.
+		encodeFleetFrames(tb, hello,
+			cut,
+			&fleetEnvelope{Offer: &offerMsg{Stripe: 0, Lo: 0, Hi: ^uint64(0) >> 2, NewEpoch: 2, Snap: snap}},
+			&fleetEnvelope{Commit: &commitMsg{Table: tab2}},
+			&fleetEnvelope{Checkpoint: &checkpointMsg{}},
+			&fleetEnvelope{Ping: &fleetPingMsg{Seq: 9}}),
+		// Cut then abort: the drain must lift.
+		encodeFleetFrames(tb, hello, cut, &fleetEnvelope{Abort: &abortMsg{}}),
+		// Refusals a conforming codec can still deliver.
+		encodeFleetFrames(tb, &fleetEnvelope{Hello: &fleetHelloMsg{Version: 99}}),
+		encodeFleetFrames(tb, &fleetEnvelope{Ping: &fleetPingMsg{Seq: 1}}), // ping before hello
+		encodeFleetFrames(tb, hello, &fleetEnvelope{}),                     // empty union
+		encodeFleetFrames(tb, hello, &fleetEnvelope{Cut: &cutMsg{Stripe: 999, NewEpoch: 2}}),
+		encodeFleetFrames(tb, hello, &fleetEnvelope{Cut: &cutMsg{Stripe: ownStripe, Lo: lo + 1, Hi: hi, NewEpoch: 2}}),
+		encodeFleetFrames(tb, hello, &fleetEnvelope{Offer: &offerMsg{Stripe: 0, Snap: &serve.Snapshot{Version: 99}}}),
+		encodeFleetFrames(tb, hello, &fleetEnvelope{Offer: &offerMsg{Stripe: 0}}), // no snapshot
+		encodeFleetFrames(tb, hello, &fleetEnvelope{Commit: &commitMsg{}}),        // no table
+		encodeFleetFrames(tb, hello, &fleetEnvelope{Commit: &commitMsg{Table: &Table{Epoch: 0}}}),
+		encodeFleetFrames(tb, hello, &fleetEnvelope{Pong: &fleetPongMsg{Seq: 1}}),
+		// Framing corruptions.
+		{0, 0, 0, 0},
+		{0xff, 0xff, 0xff, 0xff, 0},
+	}
+	trunc := encodeFleetFrames(tb, hello, cut)
+	seeds = append(seeds, trunc[:len(trunc)-4])
+	return seeds
+}
+
+// fuzzPeerTable is the table every FuzzFleetWire iteration starts from.
+func fuzzPeerTable(tb testing.TB) *Table {
+	tb.Helper()
+	tab, err := NewTable(2, []PeerInfo{
+		{ID: "fz", Addr: "fz:1", Control: "fz:2"},
+		{ID: "other", Addr: "other:1", Control: "other:2"},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tab
+}
+
+// FuzzFleetWire throws arbitrary byte streams at a live control
+// connection loop. The invariants: no panic, the loop terminates, any
+// drains the stream left behind resolve when the connection dies (the
+// resolver's abort path — the gaining address is garbage), and the peer
+// stays coherent: its installed table still validates and its store
+// still snapshots.
+func FuzzFleetWire(f *testing.F) {
+	for _, seed := range fuzzFleetSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A fresh peer per iteration: fuzzed commits install arbitrary
+		// valid tables, and epochs only move forward, so reuse would let
+		// one iteration shadow the next's fixture.
+		store, err := serve.NewStore(serve.Config{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPeer(store, PeerOptions{
+			ID:           "fz",
+			FrameTimeout: -1,
+			// A fuzzed cut leaves a drain pointing at a garbage address;
+			// the resolver must fail fast, not retry for real-world
+			// intervals.
+			ResolveAttempts: 1,
+			ResolveDelay:    time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.InstallTable(fuzzPeerTable(t)); err != nil {
+			t.Fatal(err)
+		}
+		_ = p.serveControl(&fuzzConn{r: bytes.NewReader(data)})
+		if tab := p.Table(); tab != nil {
+			if err := tab.Validate(); err != nil {
+				t.Fatalf("fuzzed connection installed an invalid table: %v", err)
+			}
+		}
+		if sn := store.SnapshotRange(0, ^uint64(0)); sn == nil {
+			t.Fatal("store cannot snapshot after fuzzed connection")
+		}
+	})
+}
+
+// TestWriteFuzzFleetWireCorpus regenerates the checked-in seed corpus
+// under testdata/fuzz/FuzzFleetWire when UPDATE_FUZZ_CORPUS=1.
+func TestWriteFuzzFleetWireCorpus(t *testing.T) {
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "" {
+		t.Skip("set UPDATE_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzFleetWire")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzFleetSeeds(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

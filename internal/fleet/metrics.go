@@ -1,0 +1,55 @@
+package fleet
+
+import "smartexp3/internal/obsv"
+
+// Metrics is the fleet layer's counter set. One set serves both roles a
+// fleetd process can hold: the peer side moves Redirects and TableEpoch,
+// the coordinator side moves the migration counters — a peer that never
+// coordinates simply exports zeros for those. As everywhere in this
+// codebase, metrics are observation-only: instrumented runs are
+// byte-identical to bare ones, and the hot-path contribution (the
+// redirect counter) is a single atomic increment on the cold not-owned
+// branch.
+type Metrics struct {
+	// Redirects counts requests refused with a NotOwner redirect or a
+	// feedback bounce — the stale-table signal.
+	Redirects *obsv.Counter
+	// TableEpoch is the installed partition-table epoch (0 before any).
+	TableEpoch *obsv.Gauge
+	// Migrations counts committed stripe migrations.
+	Migrations *obsv.Counter
+	// MigratedDevices counts device sessions moved by committed
+	// migrations.
+	MigratedDevices *obsv.Counter
+	// MigratedBytes counts migration-stream wire bytes: everything the
+	// coordinator's control connections carry, snapshot frames dominant.
+	MigratedBytes *obsv.Counter
+	// MigrationLatency observes per-stripe handoff time in nanoseconds,
+	// cut request to stage acknowledgement.
+	MigrationLatency *obsv.Histogram
+}
+
+// newMetrics returns an unregistered set — the default when no registry
+// is wired, keeping every record site and accessor valid at zero cost.
+func newMetrics() *Metrics {
+	return &Metrics{
+		Redirects:        new(obsv.Counter),
+		TableEpoch:       new(obsv.Gauge),
+		Migrations:       new(obsv.Counter),
+		MigratedDevices:  new(obsv.Counter),
+		MigratedBytes:    new(obsv.Counter),
+		MigrationLatency: new(obsv.Histogram),
+	}
+}
+
+// NewMetrics registers the fleet counter set on reg.
+func NewMetrics(reg *obsv.Registry) *Metrics {
+	return &Metrics{
+		Redirects:        reg.Counter("fleet_redirects_total", "Requests refused with a NotOwner redirect or feedback bounce (stale routing)"),
+		TableEpoch:       reg.Gauge("fleet_table_epoch", "Installed partition-table epoch (0 before any table)"),
+		Migrations:       reg.Counter("fleet_migrations_total", "Stripe migrations committed"),
+		MigratedDevices:  reg.Counter("fleet_migrated_devices_total", "Device sessions moved by committed migrations"),
+		MigratedBytes:    reg.Counter("fleet_migrated_bytes_total", "Migration-stream wire bytes over coordinator control connections"),
+		MigrationLatency: reg.Histogram("fleet_migration_latency_ns", "Per-stripe handoff time, cut request to stage acknowledgement"),
+	}
+}

@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smartexp3/internal/obsv"
+)
+
+// TestMetricsExposition pins the fleet counter set's Prometheus surface:
+// every metric registers, moves, and renders as parseable exposition
+// text under its documented name — the same text a fleetd peer serves on
+// /metrics.
+func TestMetricsExposition(t *testing.T) {
+	reg := obsv.NewRegistry()
+	m := NewMetrics(reg)
+	m.Redirects.Inc()
+	m.TableEpoch.Set(3)
+	m.Migrations.Add(2)
+	m.MigratedDevices.Add(5)
+	m.MigratedBytes.Add(1024)
+	m.MigrationLatency.Observe(1_000_000)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := obsv.CheckPrometheusText(strings.NewReader(text)); err != nil {
+		t.Fatalf("fleet metrics are not parseable Prometheus text: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"fleet_redirects_total 1",
+		"fleet_table_epoch 3",
+		"fleet_migrations_total 2",
+		"fleet_migrated_devices_total 5",
+		"fleet_migrated_bytes_total 1024",
+		"fleet_migration_latency_ns_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestUnregisteredMetricsAreInert proves the no-registry default every
+// Peer and Coordinator falls back to: all record sites valid, nothing
+// exported, nothing shared.
+func TestUnregisteredMetricsAreInert(t *testing.T) {
+	m := newMetrics()
+	m.Redirects.Inc()
+	m.TableEpoch.Set(9)
+	m.MigrationLatency.Observe(1)
+	if m.Redirects.Value() != 1 || m.TableEpoch.Value() != 9 {
+		t.Fatal("unregistered counters must still record")
+	}
+	if other := newMetrics(); other.Redirects.Value() != 0 {
+		t.Fatal("unregistered sets must not share state")
+	}
+}

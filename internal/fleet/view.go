@@ -1,0 +1,87 @@
+package fleet
+
+// ownView is a peer's compiled answer to "do I own this key?" — the
+// fleet's contribution to the warm Select/Feedback path. It is immutable
+// once published: table installs, drains, and aborts each compile a
+// fresh view and swap one atomic pointer, and the serve store re-reads
+// that pointer under each shard lock, so a flipped view is a write
+// barrier for the stripes it disowns.
+type ownView struct {
+	epoch uint64
+	shift uint
+	// self marks the stripes this peer serves; a draining stripe is not
+	// self even while its sessions are still resident.
+	self []bool
+	// owner is, per stripe, the data address to redirect to ("" for
+	// stripes in self, and for the no-table boot state). A draining
+	// stripe redirects to the gaining peer before the table says so —
+	// clients following the redirect land where the state is going.
+	owner []string
+	// rejEpoch is, per stripe, the epoch a rejection quotes: the table's
+	// epoch normally, the migration's target epoch for a draining stripe
+	// (telling stale clients how far to refresh).
+	rejEpoch []uint64
+}
+
+// check answers one ownership query. A nil view is the boot state: no
+// table yet, own nothing, redirect nowhere.
+//
+//repolint:allocfree via TestOwnershipCheckDoesNotAllocate
+func (v *ownView) check(key uint64) (owned bool, epoch uint64, owner string) {
+	if v == nil {
+		return false, 0, ""
+	}
+	s := key >> v.shift
+	if v.self[s] {
+		return true, v.epoch, ""
+	}
+	return false, v.rejEpoch[s], v.owner[s]
+}
+
+// drain is one stripe mid-migration on the draining side: writes barred,
+// redirects aimed at the gaining peer, fate (commit or abort) pending.
+type drain struct {
+	stripe    int
+	lo, hi    uint64
+	to        string // gaining peer's data address (redirect target)
+	toControl string // gaining peer's control address (resolver target)
+	newEpoch  uint64 // the table epoch this migration will commit as
+}
+
+// compileView builds the immutable view for a table (nil for the boot
+// state) as seen by peer self, with the given in-flight drains layered
+// on top.
+func compileView(tab *Table, self string, drains map[int]*drain) *ownView {
+	if tab == nil && len(drains) == 0 {
+		return nil
+	}
+	var v *ownView
+	if tab == nil {
+		// Drains without a table cannot happen (a drain is cut from an
+		// owned stripe, and owning needs a table); guard anyway.
+		return nil
+	}
+	n := tab.Stripes()
+	v = &ownView{
+		epoch:    tab.Epoch,
+		shift:    tab.shift(),
+		self:     make([]bool, n),
+		owner:    make([]string, n),
+		rejEpoch: make([]uint64, n),
+	}
+	for s := 0; s < n; s++ {
+		p := tab.Peers[tab.OwnerOf(s)]
+		if p.ID == self {
+			v.self[s] = true
+		} else {
+			v.owner[s] = p.Addr
+		}
+		v.rejEpoch[s] = tab.Epoch
+	}
+	for _, d := range drains {
+		v.self[d.stripe] = false
+		v.owner[d.stripe] = d.to
+		v.rejEpoch[d.stripe] = d.newEpoch
+	}
+	return v
+}

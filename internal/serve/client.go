@@ -57,6 +57,14 @@ type ClientOptions struct {
 	// the daemon; zero means 1 second.
 	FallbackProbe time.Duration
 
+	// OnRejected, when set, receives feedback items the daemon bounced in
+	// a Rejected frame because it no longer owns their devices (a fleet
+	// migration moved them), along with the table epoch the rejection
+	// quoted. The callback runs synchronously inside the client's receive
+	// loop; the items slice is valid only for the duration of the call.
+	// Nil discards bounced items.
+	OnRejected func(epoch uint64, items []FeedbackItem)
+
 	// Metrics, when set, receives the client's resilience counters —
 	// typically a NewClientMetrics set registered on an obsv.Registry,
 	// shared across redials of one logical client. Nil means a private
@@ -371,9 +379,10 @@ func (c *Client) backoff(try int) {
 }
 
 // attempt runs op against a live connection, redialing with backoff after
-// transient failures, up to MaxAttempts tries. A *RequestError returns
-// immediately (the session is fine); a permanent error latches; anything
-// else tears the connection down and retries.
+// transient failures, up to MaxAttempts tries. A *RequestError or
+// *NotOwnerError returns immediately (the session is fine — the second is
+// an answer, not a failure: ask a different peer); a permanent error
+// latches; anything else tears the connection down and retries.
 func (c *Client) attempt(op func() error) error {
 	attempts := c.opts.maxAttempts()
 	var lastErr error
@@ -393,7 +402,8 @@ func (c *Client) attempt(op func() error) error {
 			return nil
 		}
 		var req *RequestError
-		if errors.As(err, &req) {
+		var no *NotOwnerError
+		if errors.As(err, &req) || errors.As(err, &no) {
 			return err
 		}
 		c.dropConn(err)
@@ -450,7 +460,45 @@ func (c *Client) Select(device uint64, arms []int) (int, error) {
 			return arm, err
 		}
 	}
+	arm, slot, err := c.doSelect(device, arms)
+	if err == nil {
+		c.slots[device] = selection{slot: slot}
+		return arm, nil
+	}
+	var req *RequestError
+	var no *NotOwnerError
+	if errors.As(err, &req) || errors.As(err, &no) || c.permErr != nil {
+		return -1, err
+	}
+	return c.enterFallback(device, arms, err)
+}
+
+// SelectSlot is Select for callers that route feedback themselves (the
+// fleet client): it returns the slot the store named for this selection
+// alongside the arm, so the reward can later be delivered explicitly —
+// possibly through a different peer's connection after a migration — via
+// FeedbackSlot or EnqueueFeedback. A daemon that no longer owns the
+// device answers with *NotOwnerError, returned without burning transport
+// retries; Fallback degradation does not apply (the fleet routes around
+// a dead peer instead).
+func (c *Client) SelectSlot(device uint64, arms []int) (int, uint64, error) {
+	if err := c.usable(); err != nil {
+		return -1, 0, err
+	}
+	arm, slot, err := c.doSelect(device, arms)
+	if err != nil {
+		return -1, 0, err
+	}
+	c.slots[device] = selection{slot: slot}
+	return arm, slot, nil
+}
+
+// doSelect runs one Select round trip (flush, request, response) under
+// the retry loop, returning the chosen arm and its slot. Shared by
+// Select and SelectSlot.
+func (c *Client) doSelect(device uint64, arms []int) (int, uint64, error) {
 	var arm int
+	var slot uint64
 	err := c.attempt(func() error {
 		if err := c.writeFeedback(); err != nil {
 			return err
@@ -470,12 +518,18 @@ func (c *Client) Select(device uint64, arms []int) (int, error) {
 					return fmt.Errorf("response seq %d, want %d", env.Selected.Seq, c.seq)
 				}
 				c.sent = c.sent[:0] // barrier: the daemon consumed everything before this reply
+				if no := env.Selected.NotOwner; no != nil {
+					return &NotOwnerError{Epoch: no.Epoch, Owner: no.Owner}
+				}
 				if env.Selected.Err != "" {
 					return &RequestError{Msg: "serve: " + env.Selected.Err}
 				}
 				arm = env.Selected.Arm
-				c.slots[device] = selection{slot: env.Selected.Slot}
+				slot = env.Selected.Slot
 				return nil
+			case env.Rejected != nil:
+				c.handleRejected(env.Rejected)
+				continue // bounced feedback; the select response follows
 			case env.Pong != nil:
 				continue // late keepalive answer; the select response follows
 			default:
@@ -483,14 +537,17 @@ func (c *Client) Select(device uint64, arms []int) (int, error) {
 			}
 		}
 	})
-	if err == nil {
-		return arm, nil
+	return arm, slot, err
+}
+
+// handleRejected forwards a bounced-feedback frame to the OnRejected
+// callback. Without one the items are discarded: the daemon applied
+// nothing for them, and a plain single-store client has nowhere better
+// to send them.
+func (c *Client) handleRejected(msg *feedbackRejectedMsg) {
+	if c.opts.OnRejected != nil {
+		c.opts.OnRejected(msg.Epoch, msg.Items)
 	}
-	var req *RequestError
-	if errors.As(err, &req) || c.permErr != nil {
-		return -1, err
-	}
-	return c.enterFallback(device, arms, err)
 }
 
 // enterFallback switches to degraded local serving after the transport is
@@ -544,9 +601,41 @@ func (c *Client) Feedback(device uint64, arm int, reward float64) error {
 	}
 	c.batch = append(c.batch, FeedbackItem{Device: device, Arm: arm, Slot: sel.slot, Reward: reward})
 	c.trimFeedback()
+	return c.maybeFlushFeedback()
+}
+
+// FeedbackSlot buffers one reward report quoting an explicit slot,
+// bypassing the client's per-device slot memory — the fleet client's
+// path, where the selection may have been answered through another
+// peer's connection than the one delivering its reward.
+func (c *Client) FeedbackSlot(device uint64, arm int, slot uint64, reward float64) error {
+	if err := c.usable(); err != nil {
+		return err
+	}
+	c.batch = append(c.batch, FeedbackItem{Device: device, Arm: arm, Slot: slot, Reward: reward})
+	c.trimFeedback()
+	return c.maybeFlushFeedback()
+}
+
+// EnqueueFeedback buffers already-formed reports — the re-delivery path
+// for items another peer bounced in a Rejected frame. The slots each item
+// carries keep the hand-off at-most-once: if the bouncing peer's client
+// also resends the same items through its unconfirmed queue, whichever
+// copy loses the race is slot-dropped by the store.
+func (c *Client) EnqueueFeedback(items []FeedbackItem) error {
+	if err := c.usable(); err != nil {
+		return err
+	}
+	c.batch = append(c.batch, items...)
+	c.trimFeedback()
+	return c.maybeFlushFeedback()
+}
+
+// maybeFlushFeedback is the eager batch-size flush shared by the
+// feedback entry points. Best-effort: a transport failure just drops the
+// connection and the reports ride along on the next operation.
+func (c *Client) maybeFlushFeedback() error {
 	if len(c.batch)+len(c.sent) >= c.opts.feedbackBatch() && c.connected && !c.degraded {
-		// The eager flush is best-effort: a transport failure just drops
-		// the connection and the reports ride along on the next operation.
 		if err := c.writeFeedback(); err != nil {
 			c.dropConn(err)
 			if c.permErr != nil {
@@ -609,15 +698,21 @@ func (c *Client) Ping() error {
 		if err := c.send(&serveEnvelope{Ping: &servePingMsg{Seq: c.pingSeq}}); err != nil {
 			return err
 		}
-		var env serveEnvelope
-		if err := c.recv(&env); err != nil {
-			return err
+		for {
+			var env serveEnvelope
+			if err := c.recv(&env); err != nil {
+				return err
+			}
+			if env.Rejected != nil {
+				c.handleRejected(env.Rejected)
+				continue // bounced feedback; the pong follows
+			}
+			if env.Pong == nil || env.Pong.Seq != c.pingSeq {
+				return errors.New("unexpected frame awaiting pong")
+			}
+			c.sent = c.sent[:0] // barrier, as for Select
+			return nil
 		}
-		if env.Pong == nil || env.Pong.Seq != c.pingSeq {
-			return errors.New("unexpected frame awaiting pong")
-		}
-		c.sent = c.sent[:0] // barrier, as for Select
-		return nil
 	})
 	if err == nil {
 		c.degraded = false

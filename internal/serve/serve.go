@@ -78,6 +78,15 @@ type device struct {
 	lastTouch int64
 }
 
+// RouteKey maps a device id to its position in the routing-key space —
+// the coordinate the fleet layer partitions. Stripe ranges, ownership
+// checks and SnapshotRange bounds all speak keys, not raw ids: the mix
+// spreads sequential ids (the common assignment scheme) uniformly, so
+// contiguous key ranges carry statistically even device populations.
+// The same mix routes ids to store shards (low bits) — the two uses are
+// independent because stripes cut on high bits.
+func RouteKey(deviceID uint64) uint64 { return mix64(deviceID) }
+
 // mix64 is SplitMix64's output function, used to spread device ids across
 // shards; sequential ids (the common assignment scheme) land on distinct
 // shards instead of sharing one.

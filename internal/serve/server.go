@@ -152,6 +152,7 @@ func (s *Server) serveConn(conn net.Conn) error {
 		return err
 	}
 
+	var rejects []FeedbackItem // retained across batches; rejections are the cold migration path
 	for {
 		env = serveEnvelope{}
 		if err := recv(&env); err != nil {
@@ -166,13 +167,24 @@ func (s *Server) serveConn(conn net.Conn) error {
 			arm, slot, err := s.store.Select(req.Device, req.Arms)
 			resp := &selectedMsg{Seq: req.Seq, Arm: arm, Slot: slot}
 			if err != nil {
-				resp.Err = err.Error()
+				var no *NotOwnerError
+				if errors.As(err, &no) {
+					resp.NotOwner = &notOwnerMsg{Epoch: no.Epoch, Owner: no.Owner}
+				} else {
+					resp.Err = err.Error()
+				}
 			}
 			if err := send(&serveEnvelope{Selected: resp}); err != nil {
 				return err
 			}
 		case env.Feedback != nil:
-			s.store.ApplyBatch(env.Feedback.Items)
+			var epoch uint64
+			_, rejects, epoch = s.store.ApplyBatchOwned(env.Feedback.Items, rejects)
+			if len(rejects) > 0 {
+				if err := send(&serveEnvelope{Rejected: &feedbackRejectedMsg{Epoch: epoch, Items: rejects}}); err != nil {
+					return err
+				}
+			}
 		case env.Release != nil:
 			for _, id := range env.Release.Devices {
 				s.store.Release(id)
@@ -181,7 +193,7 @@ func (s *Server) serveConn(conn net.Conn) error {
 			if err := send(&serveEnvelope{Pong: &servePongMsg{Seq: env.Ping.Seq}}); err != nil {
 				return err
 			}
-		case env.Pong != nil, env.Hello != nil, env.HelloAck != nil, env.Selected != nil:
+		case env.Pong != nil, env.Hello != nil, env.HelloAck != nil, env.Selected != nil, env.Rejected != nil:
 			return fmt.Errorf("serve: unexpected frame from client")
 		default:
 			return fmt.Errorf("serve: empty frame")

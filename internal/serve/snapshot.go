@@ -20,6 +20,12 @@ import (
 // double-count, so version 1 files are refused rather than guessed at.
 const snapshotVersion = 2
 
+// SnapshotVersion is the current snapshot layout version — what Snapshot
+// stamps and every restore path demands. Exported so the fleet layer can
+// refuse a mismatched migration payload when it is staged instead of
+// when it is committed.
+const SnapshotVersion = snapshotVersion
+
 // DeviceSnapshot is one active device session at rest: its policy state
 // verbatim (core.PolicyState preserves every derived view bit for bit, see
 // that type's doc) plus its generator cursor, the unanswered selection, and
@@ -47,9 +53,15 @@ type Snapshot struct {
 
 // Snapshot captures every active device session. Shards are locked one at a
 // time, so service continues on the others while a shard is being copied;
-// each device is captured atomically, the set of devices is whatever the
-// moment offers (quiesce the store first when a globally consistent cut is
-// required, as the daemon's shutdown path does by closing the listener).
+// each device is captured atomically, but the cut is NOT globally
+// consistent under live writes: a device on a later shard may absorb
+// feedback after an earlier shard was copied. Quiesce the store first when
+// a consistent cut is required — the daemon's shutdown path does so by
+// closing the listener, but `served -snapshot-every` deliberately does
+// not: its periodic snapshots are crash-recovery points, per-device exact
+// yet possibly a few requests skewed across devices, which replay
+// absorbs. For a consistent cut of a key range under traffic, bar writes
+// to the range first (SetOwnership) and use SnapshotRange.
 func (s *Store) Snapshot() *Snapshot {
 	sn := &Snapshot{
 		Version:   snapshotVersion,
@@ -69,6 +81,67 @@ func (s *Store) Snapshot() *Snapshot {
 	}
 	sort.Slice(sn.Devices, func(i, j int) bool { return sn.Devices[i].Device < sn.Devices[j].Device })
 	return sn
+}
+
+// SnapshotRange captures the device sessions whose routing key
+// (RouteKey of the device id) lies in [lo, hi], inclusive, in the same
+// sorted portable form as Snapshot. Dropped is zero — the drop counter is
+// store-global and stays with the full store.
+//
+// The cut is globally consistent for the range if and only if writes to
+// the range are barred first: install an ownership filter that disowns
+// [lo, hi] (SetOwnership), then call SnapshotRange. Because Select and
+// Feedback re-read the filter under each shard lock, every request the
+// old filter admitted completes before this sweep reaches its shard and
+// is captured; every request after sees the rejection. Without that
+// barrier the per-shard locking leaves the same skew window the full
+// Snapshot has.
+func (s *Store) SnapshotRange(lo, hi uint64) *Snapshot {
+	sn := &Snapshot{
+		Version:   snapshotVersion,
+		Algorithm: s.cfg.Algorithm,
+		Seed:      s.cfg.Seed,
+	}
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for id, dev := range sh.devices {
+			if k := RouteKey(id); k < lo || k > hi {
+				continue
+			}
+			ds := DeviceSnapshot{Device: id, Pending: dev.pending, Slot: dev.slot, Rng: dev.src.State()}
+			dev.policy.ExportState(&ds.State)
+			sn.Devices = append(sn.Devices, ds)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(sn.Devices, func(i, j int) bool { return sn.Devices[i].Device < sn.Devices[j].Device })
+	return sn
+}
+
+// RemoveRange retires every device session whose routing key lies in
+// [lo, hi], inclusive, returning the sessions to the shard pools without
+// invoking eviction hooks, and reports how many it removed. It is the
+// final step of a committed migration handoff: the range's state now
+// lives on the gaining peer, so the local copies are surplus, not
+// evictions.
+func (s *Store) RemoveRange(lo, hi uint64) int {
+	removed := 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for id, dev := range sh.devices {
+			if k := RouteKey(id); k < lo || k > hi {
+				continue
+			}
+			delete(sh.devices, id)
+			sh.free = append(sh.free, dev)
+			s.devices.Add(-1)
+			removed++
+		}
+		sh.mu.Unlock()
+	}
+	return removed
 }
 
 // Encode writes the snapshot as a gob stream.
@@ -117,40 +190,9 @@ func (s *Store) Restore(sn *Snapshot) error {
 	if sn.Seed != s.cfg.Seed {
 		return fmt.Errorf("serve: snapshot seed %d, store seed %d", sn.Seed, s.cfg.Seed)
 	}
-	// Build every restored session before touching live state, so a corrupt
-	// record cannot leave the store half-replaced.
-	restored := make([]*device, len(sn.Devices))
-	for i := range sn.Devices {
-		ds := &sn.Devices[i]
-		if err := ds.State.Validate(); err != nil {
-			return fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
-		}
-		src := rngutil.NewSource(0)
-		rng := rand.New(src)
-		pol, err := core.New(s.cfg.Algorithm, ds.State.Available, s.cfg.Policy, rng)
-		// The generator cursor is restored after construction so any draw
-		// the constructor makes cannot advance the resumed stream.
-		src.SetState(ds.Rng)
-		if err != nil {
-			return fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
-		}
-		sp, ok := pol.(*core.SmartEXP3)
-		if !ok {
-			return fmt.Errorf("serve: %v has no exportable policy state", s.cfg.Algorithm)
-		}
-		if err := sp.ImportState(&ds.State, rng); err != nil {
-			return fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
-		}
-		restored[i] = &device{policy: sp, src: src, rng: rng, pending: ds.Pending, slot: ds.Slot}
-	}
-	if s.cfg.EvictAfter > 0 {
-		// Idle age does not survive a restart (lastTouch is bookkeeping, not
-		// snapshot state): restored sessions count as just-touched, so a
-		// sweep right after boot cannot mass-evict everything we restored.
-		now := s.cfg.Clock().UnixNano()
-		for _, dev := range restored {
-			dev.lastTouch = now
-		}
+	restored, err := s.buildDevices(sn)
+	if err != nil {
+		return err
 	}
 	for si := range s.shards {
 		sh := &s.shards[si]
@@ -171,6 +213,84 @@ func (s *Store) Restore(sn *Snapshot) error {
 		s.devices.Add(1)
 	}
 	s.dropped.Store(sn.Dropped)
+	return nil
+}
+
+// buildDevices reconstructs every session in the snapshot before any live
+// state is touched, so a corrupt record cannot leave a store
+// half-replaced. Shared by Restore and RestoreRange.
+func (s *Store) buildDevices(sn *Snapshot) ([]*device, error) {
+	restored := make([]*device, len(sn.Devices))
+	for i := range sn.Devices {
+		ds := &sn.Devices[i]
+		if err := ds.State.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
+		}
+		src := rngutil.NewSource(0)
+		rng := rand.New(src)
+		pol, err := core.New(s.cfg.Algorithm, ds.State.Available, s.cfg.Policy, rng)
+		// The generator cursor is restored after construction so any draw
+		// the constructor makes cannot advance the resumed stream.
+		src.SetState(ds.Rng)
+		if err != nil {
+			return nil, fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
+		}
+		sp, ok := pol.(*core.SmartEXP3)
+		if !ok {
+			return nil, fmt.Errorf("serve: %v has no exportable policy state", s.cfg.Algorithm)
+		}
+		if err := sp.ImportState(&ds.State, rng); err != nil {
+			return nil, fmt.Errorf("serve: snapshot device %d: %w", ds.Device, err)
+		}
+		restored[i] = &device{policy: sp, src: src, rng: rng, pending: ds.Pending, slot: ds.Slot}
+	}
+	if s.cfg.EvictAfter > 0 {
+		// Idle age does not survive a restart (lastTouch is bookkeeping, not
+		// snapshot state): restored sessions count as just-touched, so a
+		// sweep right after boot cannot mass-evict everything we restored.
+		now := s.cfg.Clock().UnixNano()
+		for _, dev := range restored {
+			dev.lastTouch = now
+		}
+	}
+	return restored, nil
+}
+
+// RestoreRange merges the snapshot's device sessions into the store
+// without disturbing sessions outside it — the receiving half of a
+// migration handoff, where Restore's replace-everything contract would
+// destroy the peer's own devices. The snapshot must match the store's
+// algorithm and seed; its Dropped count is ignored (the counter stays
+// with the draining store). A session that already exists for a restored
+// id is retired to the pool and overwritten: the incoming copy is the
+// newer truth, cut after writes to the range were barred on the old
+// owner.
+func (s *Store) RestoreRange(sn *Snapshot) error {
+	if sn.Version != snapshotVersion {
+		return fmt.Errorf("serve: snapshot version %d, want %d", sn.Version, snapshotVersion)
+	}
+	if sn.Algorithm != s.cfg.Algorithm {
+		return fmt.Errorf("serve: snapshot is %v state, store serves %v", sn.Algorithm, s.cfg.Algorithm)
+	}
+	if sn.Seed != s.cfg.Seed {
+		return fmt.Errorf("serve: snapshot seed %d, store seed %d", sn.Seed, s.cfg.Seed)
+	}
+	restored, err := s.buildDevices(sn)
+	if err != nil {
+		return err
+	}
+	for i := range sn.Devices {
+		id := sn.Devices[i].Device
+		sh := &s.shards[s.shardIndex(id)]
+		sh.mu.Lock()
+		if old := sh.devices[id]; old != nil {
+			sh.free = append(sh.free, old)
+			s.devices.Add(-1)
+		}
+		sh.devices[id] = restored[i]
+		sh.mu.Unlock()
+		s.devices.Add(1)
+	}
 	return nil
 }
 

@@ -102,7 +102,58 @@ type Store struct {
 	devices atomic.Int64  // active device sessions
 	dropped atomic.Uint64 // feedback/slots discarded for not matching a pending selection
 	evicted atomic.Uint64 // sessions retired by idle eviction
+	owner   atomic.Pointer[OwnershipFunc]
 	m       *storeMetrics // nil until Instrument; set before traffic starts
+}
+
+// OwnershipFunc answers whether this store owns the device with the
+// given routing key (serve.RouteKey of its id). When it does not, epoch
+// and owner describe where the device lives instead: the partition-table
+// epoch that moved it and the owning peer's data address ("" when the
+// answerer has no table yet and owns nothing). The function must be pure
+// and allocation-free — it runs inside the warm Select/Feedback paths
+// under a shard lock.
+type OwnershipFunc func(key uint64) (owned bool, epoch uint64, owner string)
+
+// NotOwnerError is the redirect a store raises for a device it does not
+// own: the client should refresh its partition table to at least Epoch
+// and retry against Owner (a data address; empty when the rejecting peer
+// cannot name one). It is a request-level error — the session remains
+// usable.
+type NotOwnerError struct {
+	Epoch uint64
+	Owner string
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("serve: not the owner (epoch %d, owner %q)", e.Epoch, e.Owner)
+}
+
+// notOwned is the cold redirect path, kept out of the allocfree-marked
+// bodies because constructing the error allocates (by design: a redirect
+// is never the warm path).
+func notOwned(epoch uint64, owner string) error {
+	return &NotOwnerError{Epoch: epoch, Owner: owner}
+}
+
+// SetOwnership installs (or, with nil, removes) the store's ownership
+// filter. With one installed, Select for an un-owned device returns
+// *NotOwnerError, Feedback/ApplyBatchOwned reject instead of applying,
+// and Release/EvictIdle leave un-owned sessions untouched.
+//
+// Ordering contract: the pointer is re-read under each shard lock, so a
+// caller that installs a rejecting filter and then locks every shard in
+// turn (as a migration drain's SnapshotRange does) is guaranteed that any
+// request admitted by the previous filter finished before the cut
+// reached its shard — the cut captures it; everything after sees the new
+// filter. That is what makes a drained range globally consistent without
+// stopping the rest of the store.
+func (s *Store) SetOwnership(fn OwnershipFunc) {
+	if fn == nil {
+		s.owner.Store(nil)
+		return
+	}
+	s.owner.Store(&fn)
 }
 
 // NewStore builds an empty store. The algorithm is validated eagerly — a
@@ -157,6 +208,11 @@ func (s *Store) Select(deviceID uint64, arms []int) (int, uint64, error) {
 	sh := &s.shards[s.shardIndex(deviceID)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if fn := s.owner.Load(); fn != nil {
+		if owned, epoch, owner := (*fn)(mix64(deviceID)); !owned {
+			return -1, 0, notOwned(epoch, owner)
+		}
+	}
 	var start time.Time
 	if s.m != nil {
 		sh.stats.selects++
@@ -254,13 +310,21 @@ func (s *Store) acquire(sh *shard, deviceID uint64, arms []int) (*device, error)
 // when the report was applied; a report for an unknown device, a
 // non-pending arm, or a settled slot is counted in Dropped and ignored —
 // so feedback duplicated, reordered, or replayed across a reconnect cannot
-// double-count a slot even when a later selection picks the same arm.
+// double-count a slot even when a later selection picks the same arm. A
+// report for a device an installed ownership filter disowns is refused
+// without touching state or the drop counter — the caller should re-route
+// it (ApplyBatchOwned returns such items).
 //
 //repolint:allocfree via TestStoreChurnIsAllocationFreeWarm
 func (s *Store) Feedback(deviceID uint64, arm int, slot uint64, reward float64) bool {
 	sh := &s.shards[s.shardIndex(deviceID)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if fn := s.owner.Load(); fn != nil {
+		if owned, _, _ := (*fn)(mix64(deviceID)); !owned {
+			return false
+		}
+	}
 	return s.feedbackLocked(sh, deviceID, arm, slot, reward)
 }
 
@@ -294,17 +358,37 @@ type FeedbackItem struct {
 // ApplyBatch applies a feedback batch, locking each shard at most once
 // regardless of how the batch interleaves devices; it returns how many
 // items were applied. This is the server's path for the client's buffered
-// fire-and-forget feedback frames.
+// fire-and-forget feedback frames. Items for devices an installed
+// ownership filter disowns are silently skipped; servers that must bounce
+// them back use ApplyBatchOwned directly.
 //
 //repolint:allocfree via TestApplyBatchWarmDoesNotAllocate
 func (s *Store) ApplyBatch(items []FeedbackItem) int {
-	applied, remaining := 0, len(items)
+	applied, _, _ := s.ApplyBatchOwned(items, nil)
+	return applied
+}
+
+// ApplyBatchOwned is ApplyBatch plus the redirect contract: items for
+// devices the store's ownership filter disowns are not applied (and not
+// counted in Dropped — they are valid reports aimed at the wrong peer)
+// but appended to rejected, which is returned re-sliced from its start so
+// callers can retain one buffer across batches. epoch is the highest
+// table epoch the filter quoted for a rejection, 0 when none; the server
+// ships it with the bounced items so a stale client knows how far to
+// refresh. The ownership pointer is re-read under each shard lock — see
+// SetOwnership for why that makes migration cuts exact.
+//
+//repolint:allocfree via TestApplyBatchWarmDoesNotAllocate
+func (s *Store) ApplyBatchOwned(items []FeedbackItem, rejected []FeedbackItem) (applied int, rej []FeedbackItem, epoch uint64) {
+	rejected = rejected[:0]
+	remaining := len(items)
 	for si := range s.shards {
 		if remaining == 0 {
 			break
 		}
 		sh := &s.shards[si]
 		locked := false
+		var fn *OwnershipFunc
 		for i := range items {
 			it := &items[i]
 			if s.shardIndex(it.Device) != uint64(si) {
@@ -313,6 +397,18 @@ func (s *Store) ApplyBatch(items []FeedbackItem) int {
 			if !locked {
 				sh.mu.Lock()
 				locked = true
+				fn = s.owner.Load()
+			}
+			if fn != nil {
+				if owned, ep, _ := (*fn)(mix64(it.Device)); !owned {
+					if ep > epoch {
+						epoch = ep
+					}
+					//repolint:ignore allocfree rejects occur only on the cold migration path and reuse the caller's retained buffer warm
+					rejected = append(rejected, *it)
+					remaining--
+					continue
+				}
 			}
 			if s.feedbackLocked(sh, it.Device, it.Arm, it.Slot, it.Reward) {
 				applied++
@@ -323,7 +419,7 @@ func (s *Store) ApplyBatch(items []FeedbackItem) int {
 			sh.mu.Unlock()
 		}
 	}
-	return applied
+	return applied, rejected, epoch
 }
 
 // Release retires a device session, returning its policy state to the
@@ -334,6 +430,11 @@ func (s *Store) Release(deviceID uint64) bool {
 	sh := &s.shards[s.shardIndex(deviceID)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if fn := s.owner.Load(); fn != nil {
+		if owned, _, _ := (*fn)(mix64(deviceID)); !owned {
+			return false // mid-migration: the cut must keep the session
+		}
+	}
 	dev := sh.devices[deviceID]
 	if dev == nil {
 		return false
@@ -373,9 +474,15 @@ func (s *Store) EvictIdle() int {
 		sh := &s.shards[si]
 		snaps = snaps[:0]
 		sh.mu.Lock()
+		fn := s.owner.Load()
 		for id, dev := range sh.devices {
 			if dev.lastTouch > cutoff {
 				continue
+			}
+			if fn != nil {
+				if owned, _, _ := (*fn)(mix64(id)); !owned {
+					continue // mid-migration: the cut must keep the session
+				}
 			}
 			if s.cfg.OnEvict != nil {
 				ds := DeviceSnapshot{Device: id, Pending: dev.pending, Slot: dev.slot, Rng: dev.src.State()}

@@ -11,7 +11,10 @@ package serve
 // incompatibly. Handshake refuses mismatches. Version 2 added the
 // selection slot to selectedMsg and FeedbackItem — the dedup cursor that
 // makes feedback resent across a reconnect safe to apply at most once.
-const serveProtocolVersion = 2
+// Version 3 added the fleet redirect surface: selectedMsg.NotOwner and
+// the unsolicited Rejected frame for feedback bounced off a peer that no
+// longer owns the device.
+const serveProtocolVersion = 3
 
 // serveEnvelope is the one-of union every serve frame carries.
 type serveEnvelope struct {
@@ -20,6 +23,7 @@ type serveEnvelope struct {
 	Select   *selectMsg
 	Selected *selectedMsg
 	Feedback *feedbackBatchMsg
+	Rejected *feedbackRejectedMsg
 	Release  *releaseMsg
 	Ping     *servePingMsg
 	Pong     *servePongMsg
@@ -50,18 +54,44 @@ type selectMsg struct {
 // selectedMsg answers a selectMsg. A non-empty Err is a property of the
 // request (bad arm set), not the connection: the session continues. Slot
 // is the store's id for this selection; the client quotes it back in the
-// matching FeedbackItem so resent feedback cannot double-count.
+// matching FeedbackItem so resent feedback cannot double-count. A non-nil
+// NotOwner is the fleet redirect — also request-level: this peer no
+// longer owns the device, ask the named owner (refreshing any partition
+// table to at least the quoted epoch first).
 type selectedMsg struct {
-	Seq  uint64
-	Arm  int
-	Slot uint64
-	Err  string
+	Seq      uint64
+	Arm      int
+	Slot     uint64
+	Err      string
+	NotOwner *notOwnerMsg
 }
 
-// feedbackBatchMsg carries buffered reward reports. There is no reply —
-// misdirected reports are counted, not bounced — which is what lets a
-// client stream feedback at line rate between selects.
+// notOwnerMsg is the wire shape of serve.NotOwnerError: the partition
+// epoch that moved the device and the owning peer's data address (empty
+// when the rejecting peer has no table and owns nothing — a booting
+// fleet member).
+type notOwnerMsg struct {
+	Epoch uint64
+	Owner string
+}
+
+// feedbackBatchMsg carries buffered reward reports. There is no reply
+// for applied (or slot-dropped) reports — which is what lets a client
+// stream feedback at line rate between selects; only reports aimed at a
+// peer that does not own their device bounce back in a Rejected frame.
 type feedbackBatchMsg struct {
+	Items []FeedbackItem
+}
+
+// feedbackRejectedMsg returns feedback items the server refused because
+// it does not own their devices — valid reports aimed at the wrong peer
+// after a migration. It is the protocol's one unsolicited server frame:
+// clients must tolerate it ahead of any awaited response. Epoch is the
+// highest table epoch quoted for the rejections; the items' slots make
+// re-delivery to the right owner at-most-once even if the client also
+// resends them through its unconfirmed queue.
+type feedbackRejectedMsg struct {
+	Epoch uint64
 	Items []FeedbackItem
 }
 
